@@ -1,0 +1,61 @@
+"""Experiment E2: committee properties S1-S4 vs Chernoff bounds (Claim 1).
+
+Two regimes are swept:
+
+* the paper's λ = 8 ln n -- the measured violation rates show honestly
+  how slowly the asymptotics bite (the Chernoff exponents are ~d²λ with
+  d ≈ 0.05);
+* the simulation-scale parameters the rest of the harness uses, where
+  3-sigma margins keep the liveness/safety properties (S3/S4) near zero.
+
+What must reproduce: measured rates under the analytic bounds, decreasing
+with n, and S3/S4 ≈ 0 at simulation scale.
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments import committee_bounds
+
+SEEDS = range(100)
+
+
+def test_e2_paper_lambda(benchmark, save_report):
+    points = once(
+        benchmark,
+        lambda: committee_bounds.run(
+            n_values=(100, 400, 1600, 6400), f_fraction=0.1,
+            seeds=SEEDS, paper_lambda=True,
+        ),
+    )
+    for point in points:
+        for name in ("S1", "S2", "S3", "S4"):
+            measured = point.violations[name] / point.trials
+            # Chernoff is an upper bound (allow Monte-Carlo noise ~4 sigma).
+            bound = min(1.0, point.chernoff[name])
+            sigma = (bound * (1 - bound) / point.trials) ** 0.5
+            assert measured <= bound + 4 * sigma + 0.05, (point.params.n, name)
+    save_report(
+        "E2_committee_bounds_paper",
+        f"E2a: S1-S4 violation rates, paper lambda = 8 ln n ({len(list(SEEDS))} seeds)\n\n"
+        + committee_bounds.format_committee_bounds(points),
+    )
+
+
+def test_e2_simulation_scale(benchmark, save_report):
+    points = once(
+        benchmark,
+        lambda: committee_bounds.run(
+            n_values=(100, 400, 1600), f_fraction=0.05,
+            seeds=SEEDS, paper_lambda=False,
+        ),
+    )
+    for point in points:
+        assert point.violations["S3"] / point.trials <= 0.05, point.params.n
+        assert point.violations["S4"] / point.trials <= 0.05, point.params.n
+    save_report(
+        "E2_committee_bounds_simscale",
+        f"E2b: S1-S4 violation rates, simulation-scale parameters ({len(list(SEEDS))} seeds)\n\n"
+        + committee_bounds.format_committee_bounds(points),
+    )

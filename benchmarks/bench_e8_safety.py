@@ -1,0 +1,36 @@
+"""Experiment E8: safety/liveness sweep (Definition 6.6).
+
+What must reproduce: zero Agreement and zero Validity violations in every
+legal protocol × Byzantine-strategy × scheduler cell; termination rates
+at or near 1 (committee protocols may show whp shortfalls, reported, not
+hidden).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments import safety
+
+N = 40
+SEEDS = range(4)
+
+
+def test_e8_safety_grid(benchmark, save_report):
+    cells = once(
+        benchmark,
+        lambda: safety.run(
+            protocols=("whp_ba", "mmr", "cachin"),
+            n=N, seeds=SEEDS,
+        ),
+    )
+    for cell in cells:
+        assert cell.agreement_violations == 0, (cell.protocol, cell.strategy)
+        assert cell.validity_violations == 0, (cell.protocol, cell.strategy)
+        assert cell.terminated >= cell.trials - 1, (cell.protocol, cell.strategy)
+    save_report(
+        "E8_safety",
+        f"E8: safety grid at n={N} ({len(list(SEEDS))} seeds/cell; each "
+        "(protocol, strategy) appears twice: split then unanimous inputs)\n\n"
+        + safety.format_safety(cells),
+    )

@@ -1,0 +1,84 @@
+"""Micro-benchmarks for the cryptographic and simulation substrate.
+
+Not a paper artefact -- these exist so regressions in the hot paths (VRF
+evaluation dominates committee protocols; the kernel's delivery loop
+dominates everything) are visible in benchmark history.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.crypto.rsa import generate_keypair, rsa_sign, rsa_verify
+from repro.crypto.shamir import reconstruct_secret, split_secret
+from repro.crypto.threshold import ThresholdCoinDealer
+from repro.crypto.vrf import RSAFDHVRF, SimulatedVRF
+from repro.sim.runner import run_protocol
+
+
+@pytest.fixture(scope="module")
+def rsa_key():
+    return generate_keypair(bits=512, rng=random.Random(1))
+
+
+def test_simulated_vrf_prove(benchmark):
+    scheme = SimulatedVRF()
+    sk, _ = scheme.keygen(random.Random(2))
+    benchmark(lambda: scheme.prove(sk, b"round-7"))
+
+
+def test_simulated_vrf_verify(benchmark):
+    scheme = SimulatedVRF()
+    sk, pk = scheme.keygen(random.Random(3))
+    output = scheme.prove(sk, b"round-7")
+    benchmark(lambda: scheme.verify(pk, b"round-7", output))
+
+
+def test_rsa_fdh_vrf_prove(benchmark):
+    scheme = RSAFDHVRF(modulus_bits=512)
+    sk, _ = scheme.keygen(random.Random(4))
+    benchmark(lambda: scheme.prove(sk, b"round-7"))
+
+
+def test_rsa_sign(benchmark, rsa_key):
+    benchmark(lambda: rsa_sign(rsa_key, b"message"))
+
+
+def test_rsa_verify(benchmark, rsa_key):
+    signature = rsa_sign(rsa_key, b"message")
+    benchmark(lambda: rsa_verify(rsa_key.public_key(), b"message", signature))
+
+
+def test_shamir_split_reconstruct(benchmark):
+    rng = random.Random(5)
+
+    def roundtrip():
+        shares = split_secret(123456789, threshold=11, num_shares=31, rng=rng)
+        return reconstruct_secret(shares[:11])
+
+    assert benchmark(roundtrip) == 123456789
+
+
+def test_threshold_coin_combine(benchmark):
+    dealer = ThresholdCoinDealer(n=31, threshold=11, rng=random.Random(6))
+    shares = {pid: dealer.coin_share(pid, 0) for pid in range(11)}
+    benchmark(lambda: dealer.combine(shares, 0))
+
+
+def test_kernel_shared_coin_n32(benchmark):
+    """One full Algorithm 1 instance at n=32: ~4k envelope deliveries."""
+    params = ProtocolParams(n=32, f=5)
+    counter = iter(range(10**9))
+
+    def run_once():
+        return run_protocol(
+            32, 5, lambda ctx: shared_coin(ctx, 0),
+            corrupt={0, 1, 2, 3, 4}, params=params, seed=next(counter),
+        )
+
+    result = benchmark(run_once)
+    assert result.live

@@ -1,0 +1,39 @@
+"""Experiment T1: regenerate the paper's Table 1 (see DESIGN.md).
+
+Every protocol row runs at its resilience operating point with split
+inputs and silent Byzantine faults; the saved table puts the paper's
+analytic columns next to the measured ones.  What must reproduce:
+termination and agreement everywhere, exponential-ish round counts for
+the local-coin rows versus small constants for the common-coin rows, and
+quadratic-versus-Õ(n) word structure (asymptotics in bench_e4_scaling).
+"""
+
+from __future__ import annotations
+
+from conftest import once
+
+from repro.experiments import table1
+
+N = 40
+SEEDS = range(3)
+
+
+def test_t1_regenerate_table1(benchmark, save_report, save_json):
+    rows = once(benchmark, lambda: table1.run(n=N, seeds=SEEDS))
+    for row in rows:
+        # The committee-based row terminates whp, not surely: tolerate one
+        # committee-shortfall seed (the table reports the exact fraction).
+        assert row.terminated >= row.trials - 1, row.protocol
+        assert row.agreed == row.terminated, row.protocol
+    save_report("T1_table1", f"T1: Table 1 at n={N}, seeds={len(list(SEEDS))}\n\n"
+                + table1.format_table1(rows))
+    save_json("T1_table1", rows)
+
+
+def test_t1_single_row_timing(benchmark):
+    """Timing canary: one MMR run at the table's scale."""
+    counter = iter(range(10**9))
+    row = benchmark.pedantic(
+        lambda: table1.run_row("mmr", N, [next(counter)]), rounds=1, iterations=2
+    )
+    assert row.terminated == row.trials

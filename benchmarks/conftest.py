@@ -1,0 +1,52 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Every ``bench_*`` file both *times* a representative workload (ordinary
+pytest-benchmark usage) and *regenerates* its paper artefact, printing
+the table and saving it under ``benchmarks/results/`` so EXPERIMENTS.md
+can be refreshed from the files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist one experiment's rendered table; returns the file path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist one experiment's raw rows as JSON (machine-readable twin of
+    ``save_report``); later runs can be drift-checked against it with
+    :func:`repro.experiments.store.compare_results`."""
+    from repro.experiments.store import save_results
+
+    def _save(name: str, payload):
+        return save_results(name, payload, RESULTS_DIR)
+
+    return _save
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    Experiment regenerations are long-running and deterministic; timing a
+    single execution keeps ``pytest benchmarks/ --benchmark-only`` honest
+    without re-running multi-minute sweeps.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Why the delayed-adaptive adversary matters (paper Section 2 + E6).
+
+Runs the VRF shared coin (Algorithm 1) under three message schedulers:
+two legal under Definition 2.1 (content-oblivious) and one that violates
+it by reading VRF values in flight and withholding the minimum.  The
+legal adversaries cannot touch the coin's agreement; the illegal one
+cuts it to roughly a half -- which is exactly why the paper needs the
+delayed-adaptivity assumption.
+
+Run:  python examples/adversarial_schedules.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablation
+
+
+def main() -> None:
+    rows = ablation.run(n=16, f=3, seeds=range(40))
+    print("Shared coin (Algorithm 1) agreement rate by scheduler:\n")
+    print(ablation.format_ablation(rows))
+    by_name = {row.scheduler: row for row in rows}
+    gap = by_name["random"].agreement.mean - by_name["content-aware"].agreement.mean
+    print(
+        f"\nbreaking delayed adaptivity costs {gap:.0%} agreement here; "
+        "the withheld minimum never becomes 'common' (Lemma 4.4's premise)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Auditing a run with the event tracer.
+
+Attaches a :class:`~repro.sim.trace.TraceRecorder` to a WHP-coin run
+under adaptive *committee-hunting* corruption — the adversary corrupts
+every committee member the moment its message appears — and then uses the
+trace to verify the paper's process-replaceability argument event by
+event: each hunted member had already broadcast before it was corrupted,
+so the corruption changed nothing.
+
+Run:  python examples/tracing_a_run.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.params import ProtocolParams
+from repro.core.whp_coin import whp_coin
+from repro.crypto.pki import PKI
+from repro.sim import (
+    Adversary,
+    CommitteeTargetingCorruption,
+    RandomScheduler,
+    Simulation,
+    attach_trace,
+)
+
+
+def main() -> None:
+    n, f = 60, 4
+    params = ProtocolParams.simulation_scale(n=n, f=f, lam=45)
+    pki = PKI.create(n, rng=random.Random(11))
+    sim = Simulation(
+        n=n, f=f, pki=pki,
+        adversary=Adversary(
+            scheduler=RandomScheduler(random.Random(11)),
+            corruption=CommitteeTargetingCorruption(),
+        ),
+        seed=11, params=params,
+    )
+    trace = attach_trace(sim)
+    sim.set_protocol_all(lambda ctx: whp_coin(ctx, 0))
+    sim.run()
+
+    outputs = {sim.returns[pid] for pid in sim.correct_pids if pid in sim.returns}
+    print(f"coin outputs of correct processes: {outputs}")
+    print(f"events traced: {len(trace)}  "
+          f"(sends {len(trace.of_kind('send'))}, "
+          f"deliveries {len(trace.of_kind('deliver'))})")
+
+    print("\nfirst 12 events:")
+    print(trace.render(limit=12))
+
+    corrupted = trace.of_kind("corrupt")
+    print(f"\nadaptive corruptions: {[e.pid for e in corrupted]}")
+    for event in corrupted:
+        first_send = trace.sends_by(event.pid)[0]
+        print(
+            f"  p{event.pid}: first broadcast at step {first_send.step}, "
+            f"corrupted at step {event.step} -> "
+            f"{'TOO LATE (replaceability)' if first_send.step <= event.step else 'early?!'}"
+        )
+    print(
+        "\nEvery corruption landed after its victim's message was already "
+        "in flight: committee-hunting is futile, as Section 6.1 argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

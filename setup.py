@@ -1,0 +1,7 @@
+"""Setup shim: lets ``pip install -e . --no-build-isolation`` work in
+offline environments that lack the ``wheel`` package (pip falls back to the
+legacy ``setup.py develop`` path via --no-use-pep517)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,127 @@
+"""The paper's closed-form bounds, verbatim.
+
+* Lemma 4.2:   c ≥ 9ε/(1+6ε) · n          (common values, Algorithm 1)
+* Theorem 4.13: ρ ≥ (18ε² + 24ε − 1)/(6(1+6ε))   (Algorithm 1 success rate)
+* Lemma B.1:   c ≥ d(11−3d)/(1+9d) · λ    (common values, Algorithm 2)
+* Lemma B.7:   ρ = (18d² + 27d − 1)/(3(5+6d)(1−d)(1+9d))  (Algorithm 2)
+* Claim 1 (Appendix A): Chernoff tails for S1-S4.
+
+The experiment harness compares empirical Monte-Carlo estimates against
+these functions; the tests pin spot values from the paper (e.g. ε = 1/3
+gives a perfectly fair coin, Remark 4.10).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.params import ProtocolParams
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "committee_property_bounds",
+    "common_values_committee_bound",
+    "common_values_fraction_bound",
+    "shared_coin_success_bound",
+    "whp_coin_success_bound",
+]
+
+
+def common_values_fraction_bound(epsilon: float) -> float:
+    """Lemma 4.2: at least this fraction of n values are *common*."""
+    if not 0 <= epsilon <= 1 / 3:
+        raise ValueError("epsilon must lie in [0, 1/3]")
+    return 9 * epsilon / (1 + 6 * epsilon)
+
+
+def shared_coin_success_bound(epsilon: float) -> float:
+    """Theorem 4.13: Algorithm 1's success rate is at least this.
+
+    Positive for ε > (√648 − 24)/36 ≈ 0.0404 (the paper's stronger
+    ε > 0.109 window comes from the committee machinery, not this bound);
+    exactly 1/2 at ε = 1/3 (Remark 4.10: f = 0 gives a perfect fair coin).
+    """
+    if not 0 <= epsilon <= 1 / 3:
+        raise ValueError("epsilon must lie in [0, 1/3]")
+    return (18 * epsilon**2 + 24 * epsilon - 1) / (6 * (1 + 6 * epsilon))
+
+
+def common_values_committee_bound(d: float) -> float:
+    """Lemma B.1: at least this fraction of λ committee values are common."""
+    if not 0 <= d < 1 / 3:
+        raise ValueError("d must lie in [0, 1/3)")
+    return d * (11 - 3 * d) / (1 + 9 * d)
+
+
+def whp_coin_success_bound(d: float) -> float:
+    """Lemma B.7: Algorithm 2's success rate (whp over the sampling).
+
+    Positive for d > (√801 − 27)/36 ≈ 0.0362 -- exactly the paper's lower
+    window bound on d, which is where that constant comes from.
+    """
+    if not 0 <= d < 1 / 3:
+        raise ValueError("d must lie in [0, 1/3)")
+    return (18 * d**2 + 27 * d - 1) / (3 * (5 + 6 * d) * (1 - d) * (1 + 9 * d))
+
+
+# -- Chernoff tails (Appendix A, equations (3) and (4)) -------------------------
+
+
+def chernoff_upper_tail(mean: float, delta: float) -> float:
+    """P[X ≥ (1+δ)E[X]] ≤ exp(−δ²E[X]/(2+δ)) for δ ≥ 0 (eq. 3)."""
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+    if mean <= 0:
+        return 1.0
+    return math.exp(-(delta**2) * mean / (2 + delta))
+
+
+def chernoff_lower_tail(mean: float, delta: float) -> float:
+    """P[X ≤ (1−δ)E[X]] ≤ exp(−δ²E[X]/2) for 0 ≤ δ ≤ 1 (eq. 4)."""
+    if not 0 <= delta <= 1:
+        raise ValueError("delta must lie in [0, 1]")
+    if mean <= 0:
+        return 1.0
+    return math.exp(-(delta**2) * mean / 2)
+
+
+def committee_property_bounds(params: ProtocolParams) -> dict[str, float]:
+    """Chernoff upper bounds on the failure probability of S1-S4.
+
+    Mirrors the four lemmas of Appendix A for one committee:
+
+    * S1 -- |C| ≤ (1+d)λ fails w.p. ≤ exp(−d²λ/(2+d));
+    * S2 -- |C| ≥ (1−d)λ fails w.p. ≤ exp(−d²λ/2);
+    * S3 -- ≥ W correct members, via δ = 1 − (2/3+d′)/(2/3+ε),
+      d′ = 3d + 1/λ;
+    * S4 -- ≤ B Byzantine members, via δ = (ε−d)/(1/3−ε).
+
+    Values can exceed the trivial bound 1 when the parameters sit outside
+    the paper's windows (small ``n``); experiments report both the bound
+    and the measured violation rate.
+    """
+    lam, d, epsilon = params.lam, params.d, params.epsilon
+    if lam is None:
+        raise ValueError("committee bounds need lam and d")
+    bounds: dict[str, float] = {}
+    bounds["S1"] = chernoff_upper_tail(lam, d)
+    bounds["S2"] = chernoff_lower_tail(lam, d)
+
+    d_prime = 3 * d + 1 / lam
+    mean_correct = (2 / 3 + epsilon) * lam
+    delta3 = 1 - (2 / 3 + d_prime) / (2 / 3 + epsilon)
+    if 0 <= delta3 <= 1:
+        bounds["S3"] = chernoff_lower_tail(mean_correct, delta3)
+    else:
+        bounds["S3"] = 1.0
+
+    mean_byz = (1 / 3 - epsilon) * lam
+    if epsilon >= d and epsilon < 1 / 3:
+        delta4 = (epsilon - d) / (1 / 3 - epsilon)
+        bounds["S4"] = chernoff_upper_tail(mean_byz, delta4)
+    elif epsilon >= 1 / 3 - 1e-12:
+        bounds["S4"] = 0.0  # f = 0: no Byzantine processes at all
+    else:
+        bounds["S4"] = 1.0
+    return bounds

@@ -1,0 +1,110 @@
+"""Theoretical complexity curves behind the Table 1 comparison.
+
+These model the *expected words sent by correct processes* per protocol as
+a function of n, in the same units the simulator's
+:class:`~repro.sim.metrics.MetricsRecorder` measures, so benches can plot
+measured points against predicted shapes and fit log-log slopes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = [
+    "expected_rounds_bound",
+    "fit_loglog_slope",
+    "predicted_crossover",
+    "word_complexity_model",
+]
+
+
+def expected_rounds_bound(success_rate: float) -> float:
+    """Upper bound 1/ρ on expected BA rounds given coin success rate ρ.
+
+    Lemma 6.14's argument: each round ends in global estimate agreement
+    with probability > ρ, after which one more round decides.
+    """
+    if not 0 < success_rate <= 1:
+        raise ValueError("success rate must lie in (0, 1]")
+    return 1 / success_rate
+
+
+def word_complexity_model(protocol: str) -> Callable[[int, float], float]:
+    """Leading-order word count per BA instance for each Table 1 row.
+
+    Returns ``model(n, lam) -> words``.  Constants are order-of-magnitude
+    (per-round message counts times the round structure), good enough to
+    check shape and crossover in the scaling experiment E4:
+
+    * quadratic rows (Rabin, Cachin/MMR): ~c · n² per round;
+    * our protocol: coin 2nλ + two approvers ~ n λ(4 + 3λ) per round
+      (the λ² term is the W signatures inside ok messages).
+    """
+    models: dict[str, Callable[[int, float], float]] = {
+        "benor": lambda n, lam: 2 * n * n,
+        "rabin": lambda n, lam: 3 * n * n,
+        "bracha": lambda n, lam: 9 * n * n * n,  # 3 RBC polls, each O(n^3) msgs
+        "cachin": lambda n, lam: 3 * n * n,
+        "mmr": lambda n, lam: 3 * n * n,
+        "mmr_shared_coin": lambda n, lam: 7 * n * n,
+        "whp_ba": lambda n, lam: n * lam * (4 + 3 * lam),
+    }
+    try:
+        return models[protocol]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {protocol!r}; one of {sorted(models)}"
+        ) from None
+
+
+def predicted_crossover(
+    protocol_a: str,
+    protocol_b: str,
+    lam_fn: Callable[[int], float] | None = None,
+    n_max: int = 10**8,
+) -> int | None:
+    """Smallest n at which ``protocol_a``'s modelled word count drops below
+    ``protocol_b``'s, scanning geometrically up to ``n_max``.
+
+    ``lam_fn`` maps n to the committee parameter (default: the paper's
+    8 ln n).  Returns ``None`` if no crossover occurs in range.  E4 quotes
+    this to place its measured points on the asymptotic story.
+    """
+    lam_fn = lam_fn or (lambda n: 8 * math.log(n))
+    model_a = word_complexity_model(protocol_a)
+    model_b = word_complexity_model(protocol_b)
+    n = 8
+    while n <= n_max:
+        lam = lam_fn(n)
+        if model_a(n, lam) < model_b(n, lam):
+            # Binary-search the exact boundary in the last octave.
+            low, high = n // 2, n
+            while low + 1 < high:
+                mid = (low + high) // 2
+                if model_a(mid, lam_fn(mid)) < model_b(mid, lam_fn(mid)):
+                    high = mid
+                else:
+                    low = mid
+            return high
+        n *= 2
+    return None
+
+
+def fit_loglog_slope(xs: list[float], ys: list[float]) -> float:
+    """Least-squares slope of log y against log x.
+
+    The E4 scaling bench uses this to verify the measured exponent:
+    ~2 for the quadratic baselines, ~1 (plus log factors) for ours.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two matching points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("log-log fit needs positive data")
+    log_x = [math.log(x) for x in xs]
+    log_y = [math.log(y) for y in ys]
+    mean_x = sum(log_x) / len(log_x)
+    mean_y = sum(log_y) / len(log_y)
+    numerator = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
+    denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    return numerator / denominator

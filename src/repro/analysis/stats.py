@@ -1,0 +1,86 @@
+"""Monte-Carlo statistics for the experiment harness.
+
+Coin success rates, whp-property violation rates and agreement rates are
+all Bernoulli parameters estimated over seeds; Wilson score intervals give
+honest uncertainty at the small-to-moderate sample sizes benches use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+__all__ = ["BernoulliEstimate", "estimate_probability", "wilson_interval"]
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> tuple[float, float]:
+    """Wilson score confidence interval for a Bernoulli parameter.
+
+    Well-behaved at 0 and ``trials`` successes, unlike the normal
+    approximation.
+    """
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    p_hat = successes / trials
+    denom = 1 + z**2 / trials
+    center = (p_hat + z**2 / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z**2 / (4 * trials**2))
+        / denom
+    )
+    # Clamp to [0, 1] and force the interval to contain the point estimate
+    # (float rounding can otherwise leave p_hat a hair outside at 0/n, n/n).
+    return (
+        min(max(0.0, center - margin), p_hat),
+        max(min(1.0, center + margin), p_hat),
+    )
+
+
+@dataclass(frozen=True)
+class BernoulliEstimate:
+    """A point estimate with its Wilson interval."""
+
+    successes: int
+    trials: int
+    z: float = 1.96
+
+    @property
+    def mean(self) -> float:
+        return self.successes / self.trials
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return wilson_interval(self.successes, self.trials, self.z)
+
+    @property
+    def low(self) -> float:
+        return self.interval[0]
+
+    @property
+    def high(self) -> float:
+        return self.interval[1]
+
+    def __str__(self) -> str:
+        low, high = self.interval
+        return f"{self.mean:.3f} [{low:.3f}, {high:.3f}] (n={self.trials})"
+
+
+def estimate_probability(
+    trial: Callable[[int], bool], seeds: Iterable[int]
+) -> BernoulliEstimate:
+    """Run ``trial(seed)`` over ``seeds`` and estimate P[True]."""
+    successes = 0
+    trials = 0
+    for seed in seeds:
+        trials += 1
+        if trial(seed):
+            successes += 1
+    if trials == 0:
+        raise ValueError("need at least one seed")
+    return BernoulliEstimate(successes=successes, trials=trials)

@@ -1,0 +1,188 @@
+"""Algorithm 3: the committee-based approver.
+
+A committee adaptation of MMR's synchronized binary-value broadcast.
+Three phases, four committees (Figure 1): an *init* committee broadcasts
+inputs; a *per-value echo* committee boosts any value received from B+1
+distinct init members (one committee per value, so each correct member
+broadcasts at most once -- process replaceability); an *ok* committee,
+upon W echoes of some value, broadcasts an ok carrying those W signed
+echoes as justification.  Everyone returns the value set of the first W
+valid ok messages.
+
+Under Assumption 1 (correct processes invoke with at most two distinct
+values) the approver satisfies, whp: Validity, Graded Agreement and
+Termination (Definition 6.1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.committees import committee_val, sample
+from repro.core.messages import EchoMsg, InitMsg, OkMsg, echo_signing_bytes
+from repro.core.params import ProtocolParams
+from repro.sim.mailbox import Mailbox
+from repro.sim.process import ProcessContext, Protocol, Wait
+
+__all__ = ["approve"]
+
+_INIT_ROLE = "init"
+_OK_ROLE = "ok"
+
+
+def _echo_role(value: object) -> tuple:
+    """The value-specific echo committee's role label."""
+    return ("echo", value)
+
+
+def approve(
+    ctx: ProcessContext,
+    instance: Hashable,
+    value: object,
+    params: ProtocolParams | None = None,
+    justify: bool = True,
+) -> Protocol:
+    """Run one approver instance with input ``value``; returns a value set.
+
+    ``value`` may be any canonically-encodable object; the BA protocol
+    uses 0, 1 and ``None`` (the paper's ⊥).
+
+    ``justify=False`` is an ABLATION ONLY: ok messages omit the W signed
+    echoes the paper attaches as proof of validity.  That erases the λ²
+    word term -- and breaks the Validity property, because a Byzantine
+    ok-committee member can then inject an arbitrary value into return
+    sets (experiment X2 measures exactly this trade).  Real deployments
+    must keep the default.
+    """
+    params = params or ctx.params
+    committee_quorum = params.committee_quorum
+    byzantine_bound = params.committee_byzantine_bound
+    pki = ctx.pki
+
+    in_init, init_proof = sample(ctx, instance, _INIT_ROLE, params)
+    if in_init:
+        ctx.broadcast(InitMsg(instance, value=value, membership=init_proof))
+    in_ok, ok_proof = sample(ctx, instance, _OK_ROLE, params)
+
+    # Reactive state.  Value-keyed dicts; Assumption 1 bounds the values
+    # correct processes introduce, Byzantine extras just waste their
+    # committee luck.
+    init_senders: dict[object, set[int]] = {}
+    echoed: set[object] = set()
+    # value -> echo_sender -> (membership, signature), validated entries only.
+    echo_records: dict[object, dict[int, tuple]] = {}
+    ok_values: list[object] = []
+    ok_senders: set[int] = set()
+    state = {"sent_ok": False}
+    cursor = 0
+
+    def maybe_echo(candidate: object) -> None:
+        """'Upon receiving init,v from B+1 distinct processes' (line 3)."""
+        if candidate in echoed:
+            return
+        if len(init_senders.get(candidate, ())) <= byzantine_bound:
+            return
+        echoed.add(candidate)
+        in_echo, echo_proof = sample(ctx, instance, _echo_role(candidate), params)
+        if in_echo:
+            signature = ctx.sign(echo_signing_bytes(instance, candidate))
+            ctx.broadcast(
+                EchoMsg(
+                    instance,
+                    value=candidate,
+                    membership=echo_proof,
+                    signature=signature,
+                )
+            )
+
+    def maybe_ok(candidate: object) -> None:
+        """'Upon receiving echo,v from W distinct processes' (line 6)."""
+        if state["sent_ok"] or not in_ok:
+            return
+        records = echo_records.get(candidate, {})
+        if len(records) < committee_quorum:
+            return
+        state["sent_ok"] = True
+        if justify:
+            justification = tuple(
+                (echo_sender, membership, signature)
+                for echo_sender, (membership, signature) in sorted(records.items())[
+                    :committee_quorum
+                ]
+            )
+        else:
+            justification = ()
+        ctx.broadcast(
+            OkMsg(
+                instance,
+                value=candidate,
+                membership=ok_proof,
+                justification=justification,
+            )
+        )
+
+    def valid_ok(sender: int, msg: OkMsg) -> bool:
+        """Validate an ok message: committee membership + W signed echoes."""
+        if not committee_val(pki, instance, _OK_ROLE, sender, msg.membership, params):
+            return False
+        if not justify:
+            # Ablation mode: membership alone admits the ok (unsound!).
+            return True
+        if len(msg.justification) < committee_quorum:
+            return False
+        seen: set[int] = set()
+        signing_bytes = echo_signing_bytes(instance, msg.value)
+        role = _echo_role(msg.value)
+        for entry in msg.justification:
+            if not isinstance(entry, tuple) or len(entry) != 3:
+                return False
+            echo_sender, membership, signature = entry
+            if echo_sender in seen:
+                return False
+            if not committee_val(pki, instance, role, echo_sender, membership, params):
+                return False
+            if not ctx.verify_signature(echo_sender, signing_bytes, signature):
+                return False
+            seen.add(echo_sender)
+        return len(seen) >= committee_quorum
+
+    def step(mailbox: Mailbox):
+        nonlocal cursor
+        stream = mailbox.stream(instance)
+        while cursor < len(stream):
+            sender, msg = stream[cursor]
+            cursor += 1
+            if isinstance(msg, InitMsg):
+                if not committee_val(
+                    pki, instance, _INIT_ROLE, sender, msg.membership, params
+                ):
+                    continue
+                init_senders.setdefault(msg.value, set()).add(sender)
+                maybe_echo(msg.value)
+            elif isinstance(msg, EchoMsg):
+                records = echo_records.setdefault(msg.value, {})
+                if sender in records:
+                    continue
+                if not committee_val(
+                    pki, instance, _echo_role(msg.value), sender, msg.membership, params
+                ):
+                    continue
+                if not ctx.verify_signature(
+                    sender, echo_signing_bytes(instance, msg.value), msg.signature
+                ):
+                    continue
+                records[sender] = (msg.membership, msg.signature)
+                maybe_ok(msg.value)
+            elif isinstance(msg, OkMsg):
+                if sender in ok_senders:
+                    continue
+                if not valid_ok(sender, msg):
+                    continue
+                ok_senders.add(sender)
+                ok_values.append(msg.value)
+                if len(ok_senders) >= committee_quorum:
+                    return frozenset(ok_values)
+        return None
+
+    result = yield Wait(step, description=f"approve{instance}")
+    return result

@@ -1,0 +1,93 @@
+"""Validated committee sampling (paper Section 5.1).
+
+Every process holds a private function ``sample_i(s, λ)`` -- realised here
+as a VRF evaluation on the domain-separated seed -- returning a boolean
+and a proof; anyone can check the claim with the public ``committee-val``.
+A process is sampled with probability λ/n, independently per seed, and
+cannot lie about the outcome (VRF uniqueness) nor predict another
+process's outcome (VRF pseudorandomness).
+
+Seeds combine the protocol instance and the committee's role, e.g.
+``(("ba", 2, "prop"), ("echo", 1))`` -- distinct protocol steps draw
+independent committees, exactly as Figure 1 of the paper illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.crypto.hashing import encode
+from repro.crypto.pki import PKI
+from repro.crypto.vrf import VRF_OUTPUT_BITS, VRFOutput
+from repro.core.params import ProtocolParams
+from repro.sim.process import ProcessContext
+
+__all__ = [
+    "committee_seed",
+    "committee_val",
+    "sample",
+    "sample_committee",
+    "sampling_threshold",
+]
+
+
+def committee_seed(instance: Hashable, role: Hashable) -> bytes:
+    """Canonical VRF input for the committee named ``(instance, role)``."""
+    return encode("committee", instance, role)
+
+
+def sampling_threshold(params: ProtocolParams) -> int:
+    """VRF outputs strictly below this integer mean "sampled".
+
+    The VRF output is uniform in [0, 2**VRF_OUTPUT_BITS), so comparing to
+    ``p * 2**VRF_OUTPUT_BITS`` samples each process with probability
+    ``p = λ/n`` -- the primitive's contract.
+    """
+    return int(params.sample_probability * (1 << VRF_OUTPUT_BITS))
+
+
+def sample(
+    ctx: ProcessContext, instance: Hashable, role: Hashable, params: ProtocolParams
+) -> tuple[bool, VRFOutput]:
+    """``sample_i(s, λ)``: am *I* in this committee?  Returns (bool, proof).
+
+    Local computation only -- no communication, and unpredictable to
+    everyone else until the proof is revealed (process replaceability).
+    """
+    output = ctx.vrf(committee_seed(instance, role))
+    return output.value < sampling_threshold(params), output
+
+
+def committee_val(
+    pki: PKI,
+    instance: Hashable,
+    role: Hashable,
+    process_id: int,
+    proof: VRFOutput,
+    params: ProtocolParams,
+) -> bool:
+    """``committee-val(s, λ, i, σ)``: verify ``process_id``'s membership claim."""
+    if not isinstance(proof, VRFOutput):
+        return False
+    if not pki.vrf_verify(process_id, committee_seed(instance, role), proof):
+        return False
+    return proof.value < sampling_threshold(params)
+
+
+def sample_committee(
+    pki: PKI, instance: Hashable, role: Hashable, params: ProtocolParams
+) -> set[int]:
+    """The full membership of one committee (trusted-setup view).
+
+    Used by the sampling experiments (E2, F1) and by tests; protocol code
+    never calls this -- processes only ever learn memberships through
+    proofs attached to messages.
+    """
+    seed = committee_seed(instance, role)
+    threshold = sampling_threshold(params)
+    members = set()
+    for pid in range(pki.n):
+        output = pki.vrf_scheme.prove(pki.vrf_private(pid), seed)
+        if output.value < threshold:
+            members.add(pid)
+    return members

@@ -1,0 +1,172 @@
+"""Multi-valued Byzantine Agreement via reduction to binary BA WHP.
+
+The paper solves *binary* BA; [3] (Abraham-Malkhi-Spiegelman) get
+multi-valued at O(n²).  This extension implements the classical
+weak-validity reduction on top of our Algorithm 4:
+
+1. **VAL phase** -- every process signs and broadcasts its input value,
+   then waits for n-f valid VAL messages.  If all n-f carry the same
+   value v, it enters the binary agreement with bit 1 and broadcasts a
+   *certificate* for v (the quorum of signatures); otherwise bit 0.
+2. **Binary agreement** (Algorithm 4's rounds) on the bit.
+3. A decided 0 becomes the fallback :data:`NO_DECISION`; a decided 1 is
+   resolved to a concrete value by waiting for any valid certificate
+   CERT(v) -- n-f distinct signatures on VAL(v).
+
+Why it is safe (n > 3f): bit 1 deciding means some correct process
+proposed 1 (binary validity), i.e. saw n-f identical VALs.  Two
+certificates for different values would need two (n-f)-quorums of signed
+VALs; the quorums intersect in a correct process, and correct processes
+sign exactly one VAL -- so every valid certificate names the same v.
+Liveness: certificates are broadcast *before* the binary phase, so by the
+time any process decides 1 its certificate is already on reliable links
+to everyone; and like Algorithm 4, the reduction keeps participating in
+binary rounds forever so laggards' committees stay populated.
+
+Properties (whp, inherited from Algorithm 4): Agreement; Termination;
+**weak validity** -- unanimous correct inputs decide that input, and any
+non-⊥ decision was some correct process's input.  Word complexity O(n²)
+from the VAL/CERT phases; committee-izing those is exactly the future
+work the paper leaves open.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.agreement import agreement_round
+from repro.core.params import ProtocolParams
+from repro.crypto.hashing import encode
+from repro.sim.mailbox import Mailbox
+from repro.sim.messages import Message
+from repro.sim.process import ProcessContext, Protocol, Wait
+
+__all__ = ["CertMsg", "NO_DECISION", "ValMsg", "multivalued_agreement"]
+
+# The fallback decision when no proposed value gathers a unanimous quorum.
+NO_DECISION = "<no-agreement>"
+
+
+def _val_signing_bytes(instance: Hashable, value: object) -> bytes:
+    return encode("mv-val", instance, value)
+
+
+@dataclass
+class ValMsg(Message):
+    """Signed input value (one value word + one signature word)."""
+
+    value: object = None
+    signature: object = None
+
+    def words(self) -> int:
+        return 2
+
+
+@dataclass
+class CertMsg(Message):
+    """A certificate: n-f distinct signatures on VAL(v)."""
+
+    value: object = None
+    certificate: tuple = ()  # (signer, signature) pairs
+
+    def words(self) -> int:
+        return 1 + 2 * len(self.certificate)
+
+
+def multivalued_agreement(
+    ctx: ProcessContext,
+    value: object,
+    params: ProtocolParams | None = None,
+    tag: str = "mv",
+) -> Protocol:
+    """Propose any canonically-encodable ``value``; decide a proposed
+    value or :data:`NO_DECISION` through ``ctx.decide``, whp.
+
+    Like Algorithm 4 the generator loops forever after deciding (laggards
+    depend on its committee participation); stop runs with
+    ``stop_when_all_decided``.
+    """
+    params = params or ctx.params
+    quorum = params.quorum
+    val_instance = (tag, "val")
+    cert_instance = (tag, "cert")
+
+    signature = ctx.sign(_val_signing_bytes(val_instance, value))
+    ctx.broadcast(ValMsg(val_instance, value=value, signature=signature))
+
+    vals: dict[int, tuple[object, object]] = {}
+    cursor = 0
+
+    def val_quorum(mailbox: Mailbox):
+        nonlocal cursor
+        stream = mailbox.stream(val_instance)
+        while cursor < len(stream):
+            sender, msg = stream[cursor]
+            cursor += 1
+            if not isinstance(msg, ValMsg) or sender in vals:
+                continue
+            if ctx.verify_signature(
+                sender, _val_signing_bytes(val_instance, msg.value), msg.signature
+            ):
+                vals[sender] = (msg.value, msg.signature)
+        if len(vals) >= quorum:
+            return dict(vals)
+        return None
+
+    quorum_vals = yield Wait(val_quorum, description=f"mv-val{val_instance}")
+    distinct = {v for v, _ in quorum_vals.values()}
+    if len(distinct) == 1:
+        candidate = next(iter(distinct))
+        bit = 1
+        certificate = tuple(
+            (sender, sig) for sender, (_, sig) in sorted(quorum_vals.items())
+        )[:quorum]
+        # Broadcast the certificate *before* the binary phase: whoever
+        # decides 1 later can rely on one already being on its links.
+        ctx.broadcast(
+            CertMsg(cert_instance, value=candidate, certificate=certificate)
+        )
+    else:
+        bit = 0
+
+    def valid_cert(mailbox: Mailbox):
+        for sender, msg in mailbox.stream(cert_instance):
+            if not isinstance(msg, CertMsg):
+                continue
+            signers: set[int] = set()
+            for entry in msg.certificate:
+                if not isinstance(entry, tuple) or len(entry) != 2:
+                    break
+                signer, sig = entry
+                if signer in signers:
+                    break
+                if not ctx.verify_signature(
+                    signer, _val_signing_bytes(val_instance, msg.value), sig
+                ):
+                    break
+                signers.add(signer)
+            else:
+                if len(signers) >= quorum:
+                    return msg.value
+        return None
+
+    # Binary phase: Algorithm 4's rounds, driven forever.  Decisions are
+    # owned by this layer (agreement_round never calls ctx.decide).
+    est = bit
+    round_id = 0
+    while True:
+        est, decided_bit = yield from agreement_round(
+            ctx, tag + "-bin", round_id, est, params
+        )
+        if decided_bit is not None and not ctx.decided:
+            if decided_bit == 0:
+                ctx.notes["decision_round"] = round_id
+                ctx.decide(NO_DECISION)
+            else:
+                decided_value = yield Wait(
+                    valid_cert, description=f"mv-cert{cert_instance}"
+                )
+                ctx.notes["decision_round"] = round_id
+                ctx.decide(decided_value)
+        round_id += 1

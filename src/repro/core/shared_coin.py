@@ -1,0 +1,94 @@
+"""Algorithm 1: the full-participation VRF-based shared coin.
+
+Two all-to-all phases.  Each process broadcasts its VRF value for the
+round; after hearing n-f FIRST values it broadcasts the minimum it has
+seen; after hearing n-f SECOND values it outputs the least significant bit
+of its minimum.  Against the delayed-adaptive adversary the global minimum
+becomes *common* with constant probability, in which case everyone outputs
+the same bit -- Theorem 4.13 lower-bounds the success rate by
+(18ε² + 24ε - 1) / (6 (1 + 6ε)).
+
+Word complexity O(n²); this coin also plugs into the MMR baseline to give
+an O(n²) BA with resilience (1/3 - ε)n (the paper's Section 4 closing
+remark, experiment E7).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.core.messages import (
+    CoinValue,
+    FirstMsg,
+    SecondMsg,
+    coin_value_alpha,
+    validate_coin_value,
+)
+from repro.core.params import ProtocolParams
+from repro.sim.mailbox import Mailbox
+from repro.sim.process import ProcessContext, Protocol, Wait
+
+__all__ = ["shared_coin"]
+
+
+def shared_coin(
+    ctx: ProcessContext, round_id: Hashable, params: ProtocolParams | None = None
+) -> Protocol:
+    """Run one shared-coin instance; returns the coin bit (0 or 1).
+
+    ``round_id`` plays the role of the paper's ``r``; any hashable works,
+    so callers can scope instances (e.g. ``("ba", 3)``).  All correct
+    processes must invoke the same ``round_id``, causally independently of
+    each other's progress.
+    """
+    params = params or ctx.params
+    instance = ("shared_coin", round_id)
+    quorum = params.quorum
+    pki = ctx.pki
+
+    my_output = ctx.vrf(coin_value_alpha(instance))
+    my_value = CoinValue(value=my_output.value, origin=ctx.pid, vrf=my_output)
+    ctx.broadcast(FirstMsg(instance, coin_value=my_value))
+
+    # Reactive state for the two "upon receiving" handlers.  Both handlers
+    # stay active for the whole instance (a late FIRST may still lower the
+    # local minimum, exactly as in the pseudocode).
+    state = {"min": my_value, "sent_second": False}
+    first_senders: set[int] = set()
+    second_senders: set[int] = set()
+    cursor = 0
+
+    def step(mailbox: Mailbox):
+        nonlocal cursor
+        stream = mailbox.stream(instance)
+        while cursor < len(stream):
+            sender, msg = stream[cursor]
+            cursor += 1
+            if isinstance(msg, FirstMsg):
+                if sender in first_senders:
+                    continue
+                # In Algorithm 1 the FIRST value must be the sender's own.
+                if msg.coin_value.origin != sender:
+                    continue
+                if not validate_coin_value(pki, msg.coin_value, instance, params, None):
+                    continue
+                first_senders.add(sender)
+                if msg.coin_value.value < state["min"].value:
+                    state["min"] = msg.coin_value
+            elif isinstance(msg, SecondMsg):
+                if sender in second_senders:
+                    continue
+                if not validate_coin_value(pki, msg.coin_value, instance, params, None):
+                    continue
+                second_senders.add(sender)
+                if msg.coin_value.value < state["min"].value:
+                    state["min"] = msg.coin_value
+        if not state["sent_second"] and len(first_senders) >= quorum:
+            state["sent_second"] = True
+            ctx.broadcast(SecondMsg(instance, coin_value=state["min"]))
+        if state["sent_second"] and len(second_senders) >= quorum:
+            return state["min"].value & 1
+        return None
+
+    result = yield Wait(step, description=f"shared_coin{instance}")
+    return result

@@ -1,0 +1,125 @@
+"""secp256k1 elliptic-curve arithmetic, from scratch.
+
+Substrate for the ECVRF backend (:class:`repro.crypto.vrf.ECVRF`) -- the
+style of VRF the paper's citations [16, 19] and deployed systems
+(Algorand, and RFC 9381's ECVRF) actually use.  Affine arithmetic with
+modular inverses: unoptimised but simple to audit, and fast enough for
+protocol-scale use (hundreds of operations per run).
+
+Curve: y² = x³ + 7 over F_p, p = 2²⁵⁶ − 2³² − 977, prime group order N.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.numtheory import modinv
+
+__all__ = [
+    "CURVE_ORDER",
+    "FIELD_P",
+    "GENERATOR",
+    "Point",
+    "hash_to_point",
+    "point_add",
+    "scalar_mult",
+]
+
+FIELD_P = 2**256 - 2**32 - 977
+CURVE_ORDER = 0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEBAAEDCE6AF48A03BBFD25E8CD0364141
+_B = 7
+
+_GX = 0x79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798
+_GY = 0x483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8
+
+
+@dataclass(frozen=True)
+class Point:
+    """An affine curve point; ``None`` coordinates encode infinity."""
+
+    x: int | None
+    y: int | None
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.x is None
+
+    def encode(self) -> bytes:
+        """Compressed SEC-style encoding (prefix by y parity)."""
+        if self.is_infinity:
+            return b"\x00"
+        prefix = b"\x03" if self.y & 1 else b"\x02"
+        return prefix + self.x.to_bytes(32, "big")
+
+
+INFINITY = Point(None, None)
+GENERATOR = Point(_GX, _GY)
+
+
+def is_on_curve(point: Point) -> bool:
+    """Membership check (infinity counts as on-curve)."""
+    if point.is_infinity:
+        return True
+    if not (0 <= point.x < FIELD_P and 0 <= point.y < FIELD_P):
+        return False
+    return (point.y * point.y - point.x**3 - _B) % FIELD_P == 0
+
+
+def point_add(a: Point, b: Point) -> Point:
+    """Group addition (affine formulas)."""
+    if a.is_infinity:
+        return b
+    if b.is_infinity:
+        return a
+    if a.x == b.x and (a.y + b.y) % FIELD_P == 0:
+        return INFINITY
+    if a == b:
+        slope = (3 * a.x * a.x) * modinv(2 * a.y, FIELD_P) % FIELD_P
+    else:
+        slope = (b.y - a.y) * modinv(b.x - a.x, FIELD_P) % FIELD_P
+    x = (slope * slope - a.x - b.x) % FIELD_P
+    y = (slope * (a.x - x) - a.y) % FIELD_P
+    return Point(x, y)
+
+
+def scalar_mult(k: int, point: Point) -> Point:
+    """Double-and-add scalar multiplication; ``k`` is reduced mod N."""
+    k %= CURVE_ORDER
+    result = INFINITY
+    addend = point
+    while k:
+        if k & 1:
+            result = point_add(result, addend)
+        addend = point_add(addend, addend)
+        k >>= 1
+    return result
+
+
+def _sqrt_mod_p(value: int) -> int | None:
+    """Square root modulo the field prime (p ≡ 3 mod 4), or ``None``."""
+    candidate = pow(value, (FIELD_P + 1) // 4, FIELD_P)
+    if candidate * candidate % FIELD_P == value % FIELD_P:
+        return candidate
+    return None
+
+
+def hash_to_point(data: bytes) -> Point:
+    """Try-and-increment hash-to-curve (the classic ECVRF H1).
+
+    Deterministic; expected two attempts.  The resulting point's discrete
+    log is unknown to everyone, which the VRF's security needs.
+    """
+    from repro.crypto.hashing import encode, hash_to_int
+
+    counter = 0
+    while True:
+        x = hash_to_int("ec-h2c", counter, data) % FIELD_P
+        y_squared = (x**3 + _B) % FIELD_P
+        y = _sqrt_mod_p(y_squared)
+        if y is not None:
+            # Normalise parity from the hash so the map is deterministic.
+            want_odd = hash_to_int("ec-h2c-sign", counter, data, bits=1)
+            if (y & 1) != want_odd:
+                y = FIELD_P - y
+            return Point(x, y)
+        counter += 1

@@ -1,0 +1,106 @@
+"""Trusted public-key infrastructure (paper Section 2).
+
+Keys for all ``n`` processes are generated *before* the protocol begins and
+public keys are well known; processes cannot manipulate them.  The PKI
+bundles a VRF keypair and a signature keypair per process and hands out
+private keys only for the process that owns them (the simulator enforces
+this capability discipline even for Byzantine behaviours -- corruption
+grants the adversary that process's keys, nothing more).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.crypto.signatures import (
+    RSASignatureScheme,
+    SchnorrSignatureScheme,
+    SignatureScheme,
+    SimulatedSignatureScheme,
+)
+from repro.crypto.vrf import ECVRF, RSAFDHVRF, SimulatedVRF, VRFOutput, VRFScheme
+
+__all__ = ["PKI"]
+
+
+class PKI:
+    """Per-run trusted setup: VRF and signature keys for ``n`` processes."""
+
+    def __init__(
+        self,
+        n: int,
+        vrf_scheme: VRFScheme,
+        signature_scheme: SignatureScheme,
+        rng: random.Random,
+    ) -> None:
+        if n < 1:
+            raise ValueError("need at least one process")
+        self.n = n
+        self.vrf_scheme = vrf_scheme
+        self.signature_scheme = signature_scheme
+        self._vrf_private: list[Any] = []
+        self._vrf_public: list[Any] = []
+        self._sig_private: list[Any] = []
+        self._sig_public: list[Any] = []
+        for _ in range(n):
+            vrf_sk, vrf_pk = vrf_scheme.keygen(rng)
+            sig_sk, sig_pk = signature_scheme.keygen(rng)
+            self._vrf_private.append(vrf_sk)
+            self._vrf_public.append(vrf_pk)
+            self._sig_private.append(sig_sk)
+            self._sig_public.append(sig_pk)
+
+    @classmethod
+    def create(
+        cls,
+        n: int,
+        backend: str = "simulated",
+        rng: random.Random | None = None,
+        modulus_bits: int = 512,
+    ) -> "PKI":
+        """Build a PKI with matched VRF/signature backends.
+
+        ``backend`` is ``"simulated"`` (fast keyed-hash, default for
+        simulation sweeps), ``"rsa"`` (real RSA-FDH VRF + signatures), or
+        ``"ec"`` (real secp256k1 ECVRF + Schnorr signatures -- the VRF
+        family the paper's citations and deployed systems use).
+        """
+        rng = rng or random.Random()
+        if backend == "simulated":
+            return cls(n, SimulatedVRF(), SimulatedSignatureScheme(), rng)
+        if backend == "rsa":
+            return cls(n, RSAFDHVRF(modulus_bits), RSASignatureScheme(modulus_bits), rng)
+        if backend == "ec":
+            return cls(n, ECVRF(), SchnorrSignatureScheme(), rng)
+        raise ValueError(f"unknown PKI backend {backend!r}")
+
+    # -- key access ---------------------------------------------------------
+
+    def vrf_private(self, process_id: int) -> Any:
+        return self._vrf_private[process_id]
+
+    def vrf_public(self, process_id: int) -> Any:
+        return self._vrf_public[process_id]
+
+    def signature_private(self, process_id: int) -> Any:
+        return self._sig_private[process_id]
+
+    def signature_public(self, process_id: int) -> Any:
+        return self._sig_public[process_id]
+
+    # -- convenience wrappers (public operations) ----------------------------
+
+    def vrf_verify(self, process_id: int, alpha: bytes, output: VRFOutput) -> bool:
+        """Verify that ``output`` is process ``process_id``'s VRF value on ``alpha``."""
+        if not 0 <= process_id < self.n:
+            return False
+        return self.vrf_scheme.verify(self._vrf_public[process_id], alpha, output)
+
+    def signature_verify(self, process_id: int, message: bytes, signature: Any) -> bool:
+        """Verify process ``process_id``'s signature on ``message``."""
+        if not 0 <= process_id < self.n:
+            return False
+        return self.signature_scheme.verify(
+            self._sig_public[process_id], message, signature
+        )

@@ -1,0 +1,107 @@
+"""Textbook RSA with full-domain hashing, built on :mod:`repro.crypto.numtheory`.
+
+This is the substrate for the *real* VRF backend (RSA-FDH-VRF, the classic
+unique-signature construction) and the real signature scheme.  Key sizes are
+deliberately modest -- the reproduction studies protocol behaviour, not
+cryptographic strength -- but the construction is the genuine article:
+FDH(m) ** d mod N, verified by re-encryption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import encode, sha256
+from repro.crypto.numtheory import modinv, random_prime
+
+__all__ = [
+    "RSAPrivateKey",
+    "RSAPublicKey",
+    "full_domain_hash",
+    "generate_keypair",
+    "rsa_sign",
+    "rsa_verify",
+]
+
+DEFAULT_MODULUS_BITS = 512
+_PUBLIC_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RSAPublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def modulus_bits(self) -> int:
+        return self.n.bit_length()
+
+
+@dataclass(frozen=True)
+class RSAPrivateKey:
+    """RSA private key; carries the public part for convenience."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    def public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(n=self.n, e=self.e)
+
+
+def generate_keypair(
+    bits: int = DEFAULT_MODULUS_BITS, rng: random.Random | None = None
+) -> RSAPrivateKey:
+    """Generate an RSA keypair with a ``bits``-bit modulus."""
+    rng = rng or random.Random()
+    half = bits // 2
+    while True:
+        p = random_prime(half, rng)
+        q = random_prime(bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        phi = (p - 1) * (q - 1)
+        if phi % _PUBLIC_EXPONENT == 0:
+            continue
+        d = modinv(_PUBLIC_EXPONENT, phi)
+        return RSAPrivateKey(n=n, e=_PUBLIC_EXPONENT, d=d, p=p, q=q)
+
+
+def full_domain_hash(message: bytes, n: int) -> int:
+    """Hash ``message`` to a uniform element of ``Z_n`` (counter-mode FDH).
+
+    Extends SHA-256 output past the modulus size and rejection-samples so
+    the result is statistically uniform over ``[0, n)``.
+    """
+    target_bytes = (n.bit_length() + 7) // 8 + 8
+    counter = 0
+    while True:
+        out = b""
+        block = 0
+        while len(out) < target_bytes:
+            out += sha256(encode("rsa-fdh", counter, block, message))
+            block += 1
+        value = int.from_bytes(out[:target_bytes], "big")
+        # Rejection sampling: accept only the uniform prefix range.
+        limit = (1 << (target_bytes * 8)) // n * n
+        if value < limit:
+            return value % n
+        counter += 1
+
+
+def rsa_sign(key: RSAPrivateKey, message: bytes) -> int:
+    """FDH signature: ``FDH(m) ** d mod n``.  Deterministic and *unique*."""
+    return pow(full_domain_hash(message, key.n), key.d, key.n)
+
+
+def rsa_verify(key: RSAPublicKey, message: bytes, signature: int) -> bool:
+    """Verify an FDH signature by re-encryption."""
+    if not 0 <= signature < key.n:
+        return False
+    return pow(signature, key.e, key.n) == full_domain_hash(message, key.n)

@@ -1,0 +1,85 @@
+"""Shamir secret sharing over a prime field.
+
+Substrate for the dealer-based coins of the Rabin and Cachin-style
+baselines (Table 1 rows).  Shares are points on a random degree-(k-1)
+polynomial; any k of them reconstruct the secret by Lagrange interpolation
+at zero, and fewer than k reveal nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.numtheory import modinv
+
+__all__ = [
+    "FIELD_PRIME",
+    "Share",
+    "reconstruct_secret",
+    "split_secret",
+]
+
+# 2**256 - 189 is the largest 256-bit prime; every 256-bit hash output fits.
+FIELD_PRIME = 2**256 - 189
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point ``x`` (1-based) and value ``y``."""
+
+    x: int
+    y: int
+
+
+def _eval_poly(coefficients: list[int], x: int, prime: int) -> int:
+    """Horner evaluation of the polynomial mod ``prime``."""
+    acc = 0
+    for coefficient in reversed(coefficients):
+        acc = (acc * x + coefficient) % prime
+    return acc
+
+
+def split_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    rng: random.Random,
+    prime: int = FIELD_PRIME,
+) -> list[Share]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+    """
+    if not 0 <= secret < prime:
+        raise ValueError("secret must lie in the field")
+    if not 1 <= threshold <= num_shares:
+        raise ValueError("need 1 <= threshold <= num_shares")
+    if num_shares >= prime:
+        raise ValueError("too many shares for the field")
+    coefficients = [secret] + [rng.randrange(prime) for _ in range(threshold - 1)]
+    return [Share(x=i, y=_eval_poly(coefficients, i, prime)) for i in range(1, num_shares + 1)]
+
+
+def reconstruct_secret(shares: list[Share], prime: int = FIELD_PRIME) -> int:
+    """Lagrange-interpolate the polynomial at zero from distinct shares.
+
+    The caller must supply at least ``threshold`` *distinct* shares; with
+    fewer, the result is an arbitrary field element (information-
+    theoretically independent of the secret).
+    """
+    if not shares:
+        raise ValueError("need at least one share")
+    xs = [share.x for share in shares]
+    if len(set(xs)) != len(xs):
+        raise ValueError("shares must have distinct x coordinates")
+    secret = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = numerator * (-share_j.x) % prime
+            denominator = denominator * (share_i.x - share_j.x) % prime
+        secret = (secret + share_i.y * numerator * modinv(denominator, prime)) % prime
+    return secret

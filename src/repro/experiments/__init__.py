@@ -1,0 +1,35 @@
+"""The experiment harness: one module per artefact in DESIGN.md's index.
+
+Each module exposes ``run(...)`` returning structured rows and
+``format_table(rows)`` rendering the same table the paper's artefact
+shows.  The ``benchmarks/`` tree drives these with publication-scale
+parameters; the test suite drives them with smoke-scale ones.
+
+=========  ====================================================
+T1         Table 1 -- all six BA protocols compared empirically
+F1         Figure 1 -- the approver's four sampled committees
+E1         Theorem 4.13 -- shared-coin success rate vs epsilon
+E1b        Lemma 4.2 -- common values counted from run traces
+E2         Claim 1 -- S1-S4 violation rates vs Chernoff bounds
+E3         Lemma B.7 -- WHP-coin success rate vs d and lambda
+E4         Section 6.2 -- word-complexity scaling and crossover
+E5         Lemma 6.14 -- O(1) expected rounds, independent of n
+E6         Definition 2.1 -- delayed-adaptivity ablation
+E7         Section 4 -- MMR instantiated with the Algorithm 1 coin
+E8         Definition 6.6 -- safety/liveness violation sweep
+X1         Section 7 future work -- probability-1-termination hybrid
+X2         Section 6.1 ablation -- the ok-justification / lambda^2 trade
+=========  ====================================================
+
+Modules: ``table1``, ``fig1``, ``coin_success``, ``common_values``,
+``committee_bounds``, ``whp_coin_sweep``, ``scaling``, ``rounds``,
+``ablation``, ``mmr_ourcoin``, ``safety``, ``hybrid_fallback``,
+``justification_ablation``; plus ``protocols`` (the registry),
+``tables``/``ascii_plot`` (rendering) and ``store`` (JSON persistence
+with drift comparison).
+"""
+
+from repro.experiments.tables import format_table
+from repro.experiments.protocols import PROTOCOLS, make_runner
+
+__all__ = ["PROTOCOLS", "format_table", "make_runner"]

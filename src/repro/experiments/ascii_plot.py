@@ -1,0 +1,61 @@
+"""Minimal ASCII scatter/line plots for experiment output.
+
+EXPERIMENTS.md and the bench logs show curve *shapes* (the quadratic gap,
+the crossover); a dependency-free log-log scatter is enough and keeps the
+artefacts greppable text.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["loglog_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def loglog_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named (x, y) series on shared log-log axes.
+
+    ``series`` maps a label to its points; all coordinates must be
+    positive.  Later series overwrite earlier ones on collisions (the
+    legend notes the marker order).
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        raise ValueError("nothing to plot")
+    if any(x <= 0 or y <= 0 for x, y in points):
+        raise ValueError("log-log plot needs positive coordinates")
+
+    log_xs = [math.log10(x) for x, _ in points]
+    log_ys = [math.log10(y) for _, y in points]
+    x_low, x_high = min(log_xs), max(log_xs)
+    y_low, y_high = min(log_ys), max(log_ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = round((math.log10(x) - x_low) / x_span * (width - 1))
+            row = round((math.log10(y) - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = [f"{y_label} (log scale, {10 ** y_low:.3g} .. {10 ** y_high:.3g})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {x_label} (log scale, {10 ** x_low:.3g} .. {10 ** x_high:.3g})"
+    )
+    legend = "  ".join(
+        f"{marker}={label}" for marker, label in zip(_MARKERS, series)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)

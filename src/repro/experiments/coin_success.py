@@ -1,0 +1,76 @@
+"""Experiment E1: shared-coin success rate vs ε (Theorem 4.13).
+
+For a sweep of f (hence ε = 1/3 − f/n) we estimate, over seeds, the
+probability that *all correct processes output the same bit*, under
+content-oblivious random scheduling with silent Byzantine processes, and
+print it next to the closed-form lower bound
+(18ε² + 24ε − 1)/(6(1+6ε)).  The paper proves the bound for the
+worst-case legal adversary; any measured rate must sit above it, and
+should approach 1 as ε → 1/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import shared_coin_success_bound
+from repro.analysis.stats import BernoulliEstimate
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.experiments.tables import format_table
+from repro.sim.runner import run_protocol
+
+__all__ = ["CoinPoint", "format_coin_success", "run"]
+
+
+@dataclass(frozen=True)
+class CoinPoint:
+    n: int
+    f: int
+    epsilon: float
+    estimate: BernoulliEstimate
+    paper_bound: float  # per-outcome rate rho; agreement >= 2*rho
+
+
+def run_point(n: int, f: int, seeds) -> CoinPoint:
+    params = ProtocolParams(n=n, f=f)
+    agreements = 0
+    trials = 0
+    for seed in seeds:
+        trials += 1
+        result = run_protocol(
+            n, f, lambda ctx: shared_coin(ctx, 0),
+            corrupt=set(range(f)), params=params, seed=seed,
+        )
+        if result.live and len(result.returned_values) == 1:
+            agreements += 1
+    return CoinPoint(
+        n=n,
+        f=f,
+        epsilon=params.epsilon,
+        estimate=BernoulliEstimate(successes=agreements, trials=trials),
+        paper_bound=shared_coin_success_bound(params.epsilon),
+    )
+
+
+def run(n: int = 24, f_values=(0, 1, 2, 3, 4, 5, 6, 7), seeds=range(40)) -> list[CoinPoint]:
+    # Only f < n/3 keeps epsilon in the protocol's domain; silently
+    # dropping out-of-range sweep points keeps small-n CLI runs usable.
+    return [run_point(n, f, seeds) for f in f_values if f < n / 3]
+
+
+def format_coin_success(points: list[CoinPoint]) -> str:
+    headers = [
+        "n", "f", "epsilon", "agreement rate", "95% CI",
+        "paper bound (2*rho)", "above bound",
+    ]
+    rows = []
+    for point in points:
+        low, high = point.estimate.interval
+        bound = max(0.0, 2 * point.paper_bound)
+        rows.append([
+            point.n, point.f, point.epsilon,
+            point.estimate.mean, f"[{low:.3f}, {high:.3f}]",
+            bound, "yes" if point.estimate.mean >= bound else "NO",
+        ])
+    return format_table(headers, rows)

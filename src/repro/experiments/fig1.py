@@ -1,0 +1,112 @@
+"""Experiment F1: the approver's committee structure (paper Figure 1).
+
+Figure 1 is a diagram of the four committees one approver instance
+samples: init, echo(v) per value, and ok.  We regenerate it as measured
+statistics: per-committee sizes against the S1/S2 band (1±d)λ, correct/
+Byzantine member counts against W and B (S3/S4), and pairwise overlaps --
+the quantities Claim 1 asserts and the proofs consume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.committees import sample_committee
+from repro.core.params import ProtocolParams
+from repro.crypto.hashing import derive_seed
+from repro.crypto.pki import PKI
+from repro.experiments.tables import format_table
+
+__all__ = ["CommitteeStats", "format_fig1", "run"]
+
+ROLES = ("init", ("echo", 0), ("echo", 1), "ok")
+
+
+@dataclass(frozen=True)
+class CommitteeStats:
+    role: str
+    mean_size: float
+    min_size: int
+    max_size: int
+    mean_correct: float
+    min_correct: int
+    mean_byzantine: float
+    max_byzantine: int
+    s1_violations: int  # size > (1+d) lam
+    s2_violations: int  # size < (1-d) lam
+    s3_violations: int  # correct < W
+    s4_violations: int  # byzantine > B
+    trials: int
+
+
+def run(
+    n: int = 200, f: int | None = None, seeds=range(20), params: ProtocolParams | None = None
+) -> tuple[ProtocolParams, list[CommitteeStats]]:
+    """Sample the approver's committees over fresh keysets."""
+    if params is None:
+        params = ProtocolParams.simulation_scale(n=n, f=f if f is not None else max(1, n // 20))
+    n = params.n
+    f = params.f
+    W = params.committee_quorum
+    B = params.committee_byzantine_bound
+    high = (1 + params.d) * params.lam
+    low = (1 - params.d) * params.lam
+
+    per_role: dict[object, dict[str, list[int]]] = {
+        role: {"size": [], "correct": [], "byz": []} for role in ROLES
+    }
+    for seed in seeds:
+        pki = PKI.create(n, rng=random.Random(derive_seed("fig1", seed)))
+        byzantine = set(range(f))
+        for role in ROLES:
+            members = sample_committee(pki, ("approver", seed), role, params)
+            per_role[role]["size"].append(len(members))
+            per_role[role]["correct"].append(len(members - byzantine))
+            per_role[role]["byz"].append(len(members & byzantine))
+
+    stats = []
+    for role in ROLES:
+        sizes = per_role[role]["size"]
+        corrects = per_role[role]["correct"]
+        byz = per_role[role]["byz"]
+        stats.append(
+            CommitteeStats(
+                role=str(role),
+                mean_size=mean(sizes),
+                min_size=min(sizes),
+                max_size=max(sizes),
+                mean_correct=mean(corrects),
+                min_correct=min(corrects),
+                mean_byzantine=mean(byz),
+                max_byzantine=max(byz),
+                s1_violations=sum(1 for s in sizes if s > high),
+                s2_violations=sum(1 for s in sizes if s < low),
+                s3_violations=sum(1 for c in corrects if c < W),
+                s4_violations=sum(1 for b in byz if b > B),
+                trials=len(sizes),
+            )
+        )
+    return params, stats
+
+
+def format_fig1(params: ProtocolParams, stats: list[CommitteeStats]) -> str:
+    headers = [
+        "committee", "mean size", "size range", "mean correct", "min correct",
+        "mean byz", "max byz", "S1 viol", "S2 viol", "S3 viol", "S4 viol",
+    ]
+    rows = [
+        [
+            s.role, s.mean_size, f"[{s.min_size}, {s.max_size}]",
+            s.mean_correct, s.min_correct, s.mean_byzantine, s.max_byzantine,
+            f"{s.s1_violations}/{s.trials}", f"{s.s2_violations}/{s.trials}",
+            f"{s.s3_violations}/{s.trials}", f"{s.s4_violations}/{s.trials}",
+        ]
+        for s in stats
+    ]
+    header = (
+        f"Approver committees at {params.describe()}  "
+        f"(band ({(1 - params.d) * params.lam:.1f}, {(1 + params.d) * params.lam:.1f}))\n"
+    )
+    return header + format_table(headers, rows)

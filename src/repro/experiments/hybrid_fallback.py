@@ -1,0 +1,109 @@
+"""Experiment X1 (extension): the probability-1-termination hybrid.
+
+The paper's conclusion asks which properties can be made probability-1
+while staying sub-quadratic.  :mod:`repro.core.hybrid` answers for
+termination with a committee-phase / MMR-fallback construction; this
+experiment measures the trade-off: as the committee phase gets more
+rounds, the fallback rate (and hence the expected quadratic-word cost)
+drops geometrically while committee-phase words grow only linearly in
+the round count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.hybrid import hybrid_agreement
+from repro.core.params import ProtocolParams
+from repro.experiments.tables import format_table
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+__all__ = ["HybridPoint", "format_hybrid", "run"]
+
+
+@dataclass(frozen=True)
+class HybridPoint:
+    committee_rounds: int
+    n: int
+    f: int
+    trials: int
+    terminated: int
+    agreement_ok: int
+    fallback_runs: int          # runs where >= 1 correct process fell back
+    fallback_deciders: int      # processes whose decision came from MMR
+    committee_deciders: int
+    mean_words: float
+
+
+def run_point(
+    committee_rounds: int, n: int, f: int, params: ProtocolParams, seeds
+) -> HybridPoint:
+    terminated = agreement_ok = fallback_runs = 0
+    fallback_deciders = committee_deciders = 0
+    words: list[int] = []
+    trials = 0
+    for seed in seeds:
+        trials += 1
+        result = run_protocol(
+            n, f,
+            lambda ctx: hybrid_agreement(
+                ctx, ctx.pid % 2, committee_rounds=committee_rounds
+            ),
+            corrupt=set(range(f)), params=params,
+            stop_condition=stop_when_all_decided, seed=seed,
+        )
+        if not (result.live and result.all_correct_decided):
+            continue
+        terminated += 1
+        if result.agreement:
+            agreement_ok += 1
+        words.append(result.words)
+        sources = [
+            notes.get("decided_by")
+            for pid, notes in result.notes.items()
+            if pid in result.decisions
+        ]
+        fallback_deciders += sum(1 for source in sources if source == "fallback")
+        committee_deciders += sum(1 for source in sources if source == "committee")
+        if any(notes.get("fallback") for notes in result.notes.values()):
+            fallback_runs += 1
+    return HybridPoint(
+        committee_rounds=committee_rounds,
+        n=n,
+        f=f,
+        trials=trials,
+        terminated=terminated,
+        agreement_ok=agreement_ok,
+        fallback_runs=fallback_runs,
+        fallback_deciders=fallback_deciders,
+        committee_deciders=committee_deciders,
+        mean_words=mean(words) if words else float("nan"),
+    )
+
+
+def run(
+    n: int = 60, f: int = 4, committee_round_values=(0, 1, 2, 4), seeds=range(10)
+) -> list[HybridPoint]:
+    params = ProtocolParams.simulation_scale(n=n, f=f, safety_sigmas=4.0)
+    return [
+        run_point(rounds, n, f, params, seeds) for rounds in committee_round_values
+    ]
+
+
+def format_hybrid(points: list[HybridPoint]) -> str:
+    headers = [
+        "committee rounds", "n", "f", "terminated", "agreement",
+        "fallback runs", "committee deciders", "fallback deciders", "mean words",
+    ]
+    rows = [
+        [
+            point.committee_rounds, point.n, point.f,
+            f"{point.terminated}/{point.trials}",
+            f"{point.agreement_ok}/{point.terminated}" if point.terminated else "-",
+            f"{point.fallback_runs}/{point.terminated}" if point.terminated else "-",
+            point.committee_deciders, point.fallback_deciders, point.mean_words,
+        ]
+        for point in points
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,124 @@
+"""Experiment X2 (extension): why ok messages carry W signed echoes.
+
+The approver's word complexity is O(nλ²) *because* each ok message hauls
+W signed echo messages as a validity proof (paper Section 6.1: "no
+Byzantine process can send a valid ok,w").  This ablation removes the
+justification, pits the approver against Byzantine ok-committee members
+that inject a never-proposed value, and measures both sides of the trade:
+
+* words per instance -- the λ² term disappears;
+* Validity -- collapses: return sets start containing the injected value.
+
+With justifications on, the same attack is a no-op.  This is the λ² term
+earning its keep, quantified.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.approver import approve
+from repro.core.committees import sample
+from repro.core.messages import OkMsg
+from repro.core.params import ProtocolParams
+from repro.crypto.hashing import derive_seed
+from repro.experiments.tables import format_table
+from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.byzantine import ScriptedBehavior
+from repro.sim.runner import run_protocol
+
+__all__ = ["JustificationPoint", "format_justification", "run"]
+
+INSTANCE = ("x2-approver",)
+HONEST_VALUE = 1
+INJECTED_VALUE = "<injected>"
+
+
+@dataclass(frozen=True)
+class JustificationPoint:
+    justify: bool
+    attack: bool
+    n: int
+    f: int
+    trials: int
+    live: int
+    validity_violations: int  # runs where INJECTED_VALUE reached a return set
+    mean_words: float
+
+
+def _injector(params: ProtocolParams):
+    """A Byzantine ok-committee member voting for a never-proposed value."""
+
+    def on_start(ctx):
+        sampled, proof = sample(ctx, INSTANCE, "ok", params)
+        if sampled:
+            ctx.broadcast(
+                OkMsg(INSTANCE, value=INJECTED_VALUE, membership=proof,
+                      justification=())
+            )
+
+    return lambda pid: ScriptedBehavior(on_start=on_start)
+
+
+def run_point(
+    justify: bool, attack: bool, n: int, f: int, params: ProtocolParams, seeds
+) -> JustificationPoint:
+    live = violations = trials = 0
+    words: list[int] = []
+    for seed in seeds:
+        trials += 1
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(derive_seed("x2", seed))),
+            corruption=StaticCorruption(set(range(f))),
+            behavior_factory=_injector(params) if attack else None,
+        )
+        result = run_protocol(
+            n, f,
+            lambda ctx: approve(ctx, INSTANCE, HONEST_VALUE, params, justify=justify),
+            adversary=adversary, params=params, seed=seed,
+        )
+        if not result.live:
+            continue
+        live += 1
+        words.append(result.words)
+        if any(INJECTED_VALUE in rv for rv in result.returned_values):
+            violations += 1
+    return JustificationPoint(
+        justify=justify,
+        attack=attack,
+        n=n,
+        f=f,
+        trials=trials,
+        live=live,
+        validity_violations=violations,
+        mean_words=mean(words) if words else float("nan"),
+    )
+
+
+def run(n: int = 60, f: int = 4, seeds=range(10)) -> list[JustificationPoint]:
+    params = ProtocolParams.simulation_scale(n=n, f=f, safety_sigmas=4.0)
+    points = []
+    for justify in (True, False):
+        for attack in (False, True):
+            points.append(run_point(justify, attack, n, f, params, seeds))
+    return points
+
+
+def format_justification(points: list[JustificationPoint]) -> str:
+    headers = [
+        "justified ok", "ok-injection attack", "n", "f", "live",
+        "validity violations", "mean words",
+    ]
+    rows = [
+        [
+            "yes" if point.justify else "NO (ablation)",
+            "yes" if point.attack else "no",
+            point.n, point.f, f"{point.live}/{point.trials}",
+            f"{point.validity_violations}/{point.live}" if point.live else "-",
+            point.mean_words,
+        ]
+        for point in points
+    ]
+    return format_table(headers, rows)

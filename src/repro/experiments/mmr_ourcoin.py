@@ -1,0 +1,93 @@
+"""Experiment E7: MMR instantiated with the paper's Algorithm 1 coin.
+
+The paper's Section 4 closing remark: plugging the VRF shared coin into
+MMR yields an asynchronous binary BA with resilience (1/3 − ε)n, O(n²)
+words and O(1) expected time.  We compare the three MMR instantiations --
+local coin, Algorithm 1 coin, CKS threshold coin -- on rounds-to-decide
+and words, at the same n and worst-case split inputs.  The shared-coin
+variants must decide in a small constant number of rounds; the local-coin
+variant's round count is the one that degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.experiments.protocols import make_runner
+from repro.experiments.tables import format_table
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+__all__ = ["MMRVariantRow", "format_mmr_ourcoin", "run"]
+
+VARIANTS = ("mmr", "mmr+alg1", "cachin")
+
+
+@dataclass(frozen=True)
+class MMRVariantRow:
+    variant: str
+    n: int
+    f: int
+    trials: int
+    completed: int
+    mean_rounds: float
+    max_rounds: int
+    mean_words: float
+
+
+def run_variant(name: str, n: int, seeds) -> MMRVariantRow:
+    rounds: list[int] = []
+    words: list[int] = []
+    completed = 0
+    trials = 0
+    f_used = 0
+    for seed in seeds:
+        trials += 1
+        factory, params, f = make_runner(name, n, seed=seed)
+        f_used = f
+        result = run_protocol(
+            n, f, factory, corrupt=set(range(f)), params=params,
+            stop_condition=stop_when_all_decided, seed=seed,
+        )
+        if not (result.live and result.all_correct_decided):
+            continue
+        completed += 1
+        words.append(result.words)
+        decision_rounds = [
+            notes["decision_round"] + 1
+            for notes in result.notes.values()
+            if "decision_round" in notes
+        ]
+        if decision_rounds:
+            rounds.append(max(decision_rounds))
+    return MMRVariantRow(
+        variant=name,
+        n=n,
+        f=f_used,
+        trials=trials,
+        completed=completed,
+        mean_rounds=mean(rounds) if rounds else float("nan"),
+        max_rounds=max(rounds) if rounds else 0,
+        mean_words=mean(words) if words else float("nan"),
+    )
+
+
+def run(n: int = 25, seeds=range(10), variants=VARIANTS) -> list[MMRVariantRow]:
+    return [run_variant(name, n, seeds) for name in variants]
+
+
+def format_mmr_ourcoin(rows: list[MMRVariantRow]) -> str:
+    headers = [
+        "variant", "coin", "n", "f", "completed",
+        "mean rounds", "max rounds", "mean words",
+    ]
+    coin_name = {"mmr": "local", "mmr+alg1": "Algorithm 1 (VRF)", "cachin": "CKS threshold"}
+    body = [
+        [
+            row.variant, coin_name[row.variant], row.n, row.f,
+            f"{row.completed}/{row.trials}",
+            row.mean_rounds, row.max_rounds, row.mean_words,
+        ]
+        for row in rows
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,83 @@
+"""Experiment E5: O(1) expected rounds, independent of n (Lemma 6.14).
+
+Runs Algorithm 4 with worst-case split inputs across a sweep of n and
+collects the distribution of the deciding round; the mean must stay flat
+(bounded by 1/ρ + 1) rather than grow with n.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.core.params import ProtocolParams
+from repro.experiments.protocols import make_runner
+from repro.experiments.tables import format_table
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+__all__ = ["RoundsPoint", "format_rounds", "run"]
+
+
+@dataclass(frozen=True)
+class RoundsPoint:
+    n: int
+    f: int
+    trials: int
+    completed: int
+    mean_rounds: float
+    max_rounds: int
+    histogram: dict[int, int]  # deciding round (1-based) -> process count
+
+
+def run_point(n: int, seeds, protocol: str = "whp_ba") -> RoundsPoint:
+    histogram: Counter = Counter()
+    per_run_max: list[int] = []
+    completed = 0
+    trials = 0
+    f_used = 0
+    for seed in seeds:
+        trials += 1
+        factory, params, f = make_runner(protocol, n, seed=seed)
+        f_used = f
+        result = run_protocol(
+            n, f, factory, corrupt=set(range(f)), params=params,
+            stop_condition=stop_when_all_decided, seed=seed,
+        )
+        if not (result.live and result.all_correct_decided):
+            continue
+        completed += 1
+        rounds = [
+            notes["decision_round"] + 1
+            for notes in result.notes.values()
+            if "decision_round" in notes
+        ]
+        histogram.update(rounds)
+        if rounds:
+            per_run_max.append(max(rounds))
+    return RoundsPoint(
+        n=n,
+        f=f_used,
+        trials=trials,
+        completed=completed,
+        mean_rounds=mean(per_run_max) if per_run_max else float("nan"),
+        max_rounds=max(per_run_max) if per_run_max else 0,
+        histogram=dict(sorted(histogram.items())),
+    )
+
+
+def run(n_values=(40, 80, 160), seeds=range(8), protocol: str = "whp_ba") -> list[RoundsPoint]:
+    return [run_point(n, seeds, protocol) for n in n_values]
+
+
+def format_rounds(points: list[RoundsPoint]) -> str:
+    headers = ["n", "f", "completed", "mean deciding round", "max", "histogram"]
+    rows = [
+        [
+            point.n, point.f, f"{point.completed}/{point.trials}",
+            point.mean_rounds, point.max_rounds,
+            " ".join(f"r{k}:{v}" for k, v in point.histogram.items()),
+        ]
+        for point in points
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,128 @@
+"""Experiment E8: safety/liveness sweep (Definition 6.6).
+
+A grid of protocol × Byzantine-strategy × scheduler, counting violations
+of Validity, Agreement and Termination over seeds.  All legal cells must
+show zero safety violations; liveness failures may appear only as
+whp-committee shortfalls for the committee-based protocol (and are
+reported, not hidden).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import derive_seed
+from repro.experiments.protocols import make_runner
+from repro.experiments.tables import format_table
+from repro.sim.adversary import (
+    AdaptiveFirstSpeakersCorruption,
+    Adversary,
+    RandomScheduler,
+    StaticCorruption,
+    TargetedDelayScheduler,
+)
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+__all__ = ["SafetyCell", "format_safety", "run"]
+
+STRATEGIES = ("silent-static", "silent-adaptive", "delay-targets")
+
+
+def _make_adversary(strategy: str, n: int, f: int, seed: int) -> Adversary:
+    rng = random.Random(derive_seed("e8", strategy, seed))
+    if strategy == "silent-static":
+        return Adversary(
+            scheduler=RandomScheduler(rng), corruption=StaticCorruption(set(range(f)))
+        )
+    if strategy == "silent-adaptive":
+        return Adversary(
+            scheduler=RandomScheduler(rng),
+            corruption=AdaptiveFirstSpeakersCorruption(),
+        )
+    if strategy == "delay-targets":
+        return Adversary(
+            scheduler=TargetedDelayScheduler(set(range(f, 2 * f)), rng),
+            corruption=StaticCorruption(set(range(f))),
+        )
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+@dataclass(frozen=True)
+class SafetyCell:
+    protocol: str
+    strategy: str
+    n: int
+    f: int
+    trials: int
+    terminated: int
+    agreement_violations: int
+    validity_violations: int
+
+
+def run_cell(
+    protocol: str, strategy: str, n: int, seeds, unanimous_value: int | None = None
+) -> SafetyCell:
+    """One grid cell.  ``unanimous_value`` switches inputs from the
+    split pattern to all-same (which arms the validity check)."""
+    terminated = agreement_violations = validity_violations = 0
+    trials = 0
+    f_used = 0
+    for seed in seeds:
+        trials += 1
+        value_fn = (
+            (lambda ctx: unanimous_value) if unanimous_value is not None
+            else (lambda ctx: ctx.pid % 2)
+        )
+        factory, params, f = make_runner(protocol, n, seed=seed, value_fn=value_fn)
+        f_used = f
+        result = run_protocol(
+            n, f, factory, adversary=_make_adversary(strategy, n, f, seed),
+            params=params, stop_condition=stop_when_all_decided, seed=seed,
+        )
+        if result.live and result.all_correct_decided:
+            terminated += 1
+            if not result.agreement:
+                agreement_violations += 1
+            if unanimous_value is not None and result.decided_values != {unanimous_value}:
+                validity_violations += 1
+    return SafetyCell(
+        protocol=protocol,
+        strategy=strategy,
+        n=n,
+        f=f_used,
+        trials=trials,
+        terminated=terminated,
+        agreement_violations=agreement_violations,
+        validity_violations=validity_violations,
+    )
+
+
+def run(
+    protocols=("whp_ba", "mmr", "cachin"),
+    strategies=STRATEGIES,
+    n: int = 40,
+    seeds=range(5),
+) -> list[SafetyCell]:
+    cells = []
+    for protocol in protocols:
+        for strategy in strategies:
+            cells.append(run_cell(protocol, strategy, n, seeds))
+            cells.append(run_cell(protocol, strategy, n, seeds, unanimous_value=1))
+    return cells
+
+
+def format_safety(cells: list[SafetyCell]) -> str:
+    headers = [
+        "protocol", "strategy", "n", "f", "terminated",
+        "agreement viol", "validity viol",
+    ]
+    rows = [
+        [
+            cell.protocol, cell.strategy, cell.n, cell.f,
+            f"{cell.terminated}/{cell.trials}",
+            cell.agreement_violations, cell.validity_violations,
+        ]
+        for cell in cells
+    ]
+    return format_table(headers, rows)

@@ -1,0 +1,106 @@
+"""Persist experiment results as JSON and diff them across runs.
+
+The text tables in ``benchmarks/results`` are for humans; this module
+gives the same data a machine-readable life: experiment dataclasses
+serialise to JSON (NaN-safe), reload as plain dicts, and
+:func:`compare_results` reports numeric drift beyond a tolerance --
+enough to use any stored run as a golden baseline for regression
+tracking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+__all__ = ["compare_results", "load_results", "save_results", "to_jsonable"]
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert experiment results (nested dataclasses / tuples / dicts)
+    into JSON-encodable structures.
+
+    Floats that JSON cannot represent (NaN, ±inf) become ``None`` --
+    experiments use NaN for "no data", which round-trips as null.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [to_jsonable(item) for item in items]
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def save_results(name: str, payload: Any, directory: str | Path) -> Path:
+    """Serialise ``payload`` to ``<directory>/<name>.json``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_results(name: str, directory: str | Path) -> Any:
+    """Load a previously saved result set."""
+    path = Path(directory) / f"{name}.json"
+    return json.loads(path.read_text())
+
+
+def compare_results(
+    baseline: Any, current: Any, rel_tol: float = 0.1, path: str = "$"
+) -> list[str]:
+    """Structural diff with numeric tolerance; returns human-readable
+    drift descriptions (empty list = within tolerance everywhere).
+
+    Numbers compare with relative tolerance ``rel_tol`` (absolute 1e-9
+    floor); structure mismatches (missing keys, length changes, type
+    changes) always report.
+    """
+    drifts: list[str] = []
+    if isinstance(baseline, dict) and isinstance(current, dict):
+        for key in sorted(set(baseline) | set(current)):
+            if key not in baseline:
+                drifts.append(f"{path}.{key}: only in current")
+            elif key not in current:
+                drifts.append(f"{path}.{key}: only in baseline")
+            else:
+                drifts.extend(
+                    compare_results(
+                        baseline[key], current[key], rel_tol, f"{path}.{key}"
+                    )
+                )
+        return drifts
+    if isinstance(baseline, list) and isinstance(current, list):
+        if len(baseline) != len(current):
+            return [f"{path}: length {len(baseline)} -> {len(current)}"]
+        for index, (old, new) in enumerate(zip(baseline, current)):
+            drifts.extend(compare_results(old, new, rel_tol, f"{path}[{index}]"))
+        return drifts
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        # bool is an int subclass; compare exactly (and flag bool<->int
+        # type changes, which == would hide: True == 1).
+        if baseline != current or (
+            isinstance(baseline, bool) != isinstance(current, bool)
+        ):
+            drifts.append(f"{path}: {baseline!r} -> {current!r}")
+        return drifts
+    if isinstance(baseline, (int, float)) and isinstance(current, (int, float)):
+        tolerance = max(abs(baseline) * rel_tol, 1e-9)
+        if abs(baseline - current) > tolerance:
+            drifts.append(f"{path}: {baseline} -> {current} (beyond {rel_tol:.0%})")
+        return drifts
+    if baseline != current:
+        drifts.append(f"{path}: {baseline!r} -> {current!r}")
+    return drifts

@@ -1,0 +1,109 @@
+"""Experiment T1: regenerate the paper's Table 1 empirically.
+
+For each protocol row we run binary BA with adversarial split inputs and
+silent Byzantine faults at the row's resilience operating point, and
+measure what the paper's table states analytically: resilience, expected
+word complexity, termination behaviour and safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.experiments.protocols import PROTOCOLS, make_runner
+from repro.experiments.tables import format_table
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+__all__ = ["Table1Row", "format_table1", "run"]
+
+# The paper's analytic claims per row (n > x*f, word complexity class).
+PAPER_CLAIMS = {
+    "benor": ("5f", "O(2^n)", "w.p. 1"),
+    "rabin": ("10f", "O(n^2)", "w.p. 1"),
+    "bracha": ("3f", "O(2^n)", "w.p. 1"),
+    "cachin": ("3f", "O(n^2)", "w.p. 1"),
+    "mmr": ("3f", "O(n^2)", "w.p. 1"),
+    "mmr+alg1": ("~4.5f", "O(n^2)", "w.p. 1"),
+    "whp_ba": ("~4.5f", "O(n log^2 n)", "whp"),
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    protocol: str
+    n: int
+    f: int
+    trials: int
+    terminated: int
+    agreed: int
+    mean_words: float
+    mean_duration: float
+    mean_rounds: float
+
+
+def run_row(name: str, n: int, seeds, max_deliveries: int = 2_000_000) -> Table1Row:
+    """Run one protocol at its operating point over the given seeds."""
+    terminated = agreed = 0
+    words: list[int] = []
+    durations: list[int] = []
+    rounds: list[float] = []
+    trials = 0
+    f_used = 0
+    for seed in seeds:
+        trials += 1
+        factory, params, f = make_runner(name, n, seed=seed)
+        f_used = f
+        result = run_protocol(
+            n, f, factory, corrupt=set(range(f)), params=params,
+            stop_condition=stop_when_all_decided, seed=seed,
+            max_deliveries=max_deliveries,
+        )
+        if result.live and result.all_correct_decided:
+            terminated += 1
+            if result.agreement:
+                agreed += 1
+            words.append(result.words)
+            durations.append(result.duration)
+            decision_rounds = [
+                notes["decision_round"] + 1
+                for notes in result.notes.values()
+                if "decision_round" in notes
+            ]
+            if decision_rounds:
+                rounds.append(max(decision_rounds))
+    return Table1Row(
+        protocol=name,
+        n=n,
+        f=f_used,
+        trials=trials,
+        terminated=terminated,
+        agreed=agreed,
+        mean_words=mean(words) if words else float("nan"),
+        mean_duration=mean(durations) if durations else float("nan"),
+        mean_rounds=mean(rounds) if rounds else float("nan"),
+    )
+
+
+def run(n: int = 45, seeds=range(5), protocols=PROTOCOLS) -> list[Table1Row]:
+    """Regenerate Table 1 at system size ``n`` over ``seeds``."""
+    return [run_row(name, n, seeds) for name in protocols]
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    headers = [
+        "protocol", "n >", "paper words", "paper term.",
+        "n", "f", "terminated", "agreement", "mean words", "mean rounds",
+        "causal depth",
+    ]
+    body = []
+    for row in rows:
+        resilience, words_class, termination = PAPER_CLAIMS[row.protocol]
+        body.append([
+            row.protocol, resilience, words_class, termination,
+            row.n, row.f,
+            f"{row.terminated}/{row.trials}",
+            f"{row.agreed}/{row.terminated}" if row.terminated else "-",
+            row.mean_words, row.mean_rounds, row.mean_duration,
+        ])
+    return format_table(headers, body)

@@ -1,0 +1,41 @@
+"""Plain-text table rendering for experiment output.
+
+No external dependencies; produces aligned monospace tables that go
+straight into EXPERIMENTS.md and benchmark logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["format_table"]
+
+
+def _render_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as an aligned monospace table with a header rule."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered)) if rendered else len(header)
+        for i, header in enumerate(headers)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * width for width in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)

@@ -1,0 +1,88 @@
+"""Experiment E3: WHP-coin success rate vs d and λ (Lemma B.7).
+
+Like E1 but for Algorithm 2: agreement probability over seeds against the
+closed-form whp bound (18d² + 27d − 1)/(3(5+6d)(1−d)(1+9d)), plus the
+liveness rate (the 'whp' part of the theorem -- runs that deadlock because
+a committee undershot W count against liveness, not agreement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bounds import whp_coin_success_bound
+from repro.analysis.stats import BernoulliEstimate
+from repro.core.params import ProtocolParams
+from repro.core.whp_coin import whp_coin
+from repro.experiments.tables import format_table
+from repro.sim.runner import run_protocol
+
+__all__ = ["WhpCoinPoint", "format_whp_coin", "run"]
+
+
+@dataclass(frozen=True)
+class WhpCoinPoint:
+    params: ProtocolParams
+    live: int
+    trials: int
+    agreement: BernoulliEstimate  # over live runs
+    paper_bound: float
+
+
+def run_point(params: ProtocolParams, seeds, max_deliveries: int = 2_000_000) -> WhpCoinPoint:
+    n, f = params.n, params.f
+    live = agreements = 0
+    trials = 0
+    for seed in seeds:
+        trials += 1
+        result = run_protocol(
+            n, f, lambda ctx: whp_coin(ctx, 0),
+            corrupt=set(range(f)), params=params, seed=seed,
+            max_deliveries=max_deliveries,
+        )
+        if result.live and len(result.returns) == n - f:
+            live += 1
+            if len(result.returned_values) == 1:
+                agreements += 1
+    return WhpCoinPoint(
+        params=params,
+        live=live,
+        trials=trials,
+        agreement=BernoulliEstimate(successes=agreements, trials=max(live, 1)),
+        paper_bound=whp_coin_success_bound(params.d),
+    )
+
+
+def run(
+    n: int = 120,
+    f: int = 4,
+    d_values=(0.01, 0.03, 0.05),
+    lam: float | None = None,
+    seeds=range(25),
+) -> list[WhpCoinPoint]:
+    """Sweep d at fixed n, f, λ (default: feasibility-inflated 8 ln n)."""
+    if lam is None:
+        lam = ProtocolParams.simulation_scale(n=n, f=f).lam
+    points = []
+    for d in d_values:
+        params = ProtocolParams(n=n, f=f, lam=lam, d=d)
+        points.append(run_point(params, seeds))
+    return points
+
+
+def format_whp_coin(points: list[WhpCoinPoint]) -> str:
+    headers = [
+        "n", "f", "lam", "d", "W", "B", "live", "agreement", "95% CI",
+        "paper bound (2*rho)",
+    ]
+    rows = []
+    for point in points:
+        p = point.params
+        low, high = point.agreement.interval
+        rows.append([
+            p.n, p.f, p.lam, p.d, p.committee_quorum, p.committee_byzantine_bound,
+            f"{point.live}/{point.trials}",
+            point.agreement.mean, f"[{low:.3f}, {high:.3f}]",
+            max(0.0, 2 * point.paper_bound),
+        ])
+    return format_table(headers, rows)

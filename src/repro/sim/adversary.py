@@ -1,0 +1,437 @@
+"""The adversary: message scheduling plus adaptive corruption.
+
+All asynchrony in the simulator is adversarial -- the scheduler picks which
+in-flight message is delivered next.  The delayed-adaptive restriction of
+Definition 2.1 (contents of a concurrent correct message may not influence
+scheduling) is enforced *mechanically*: content-oblivious schedulers only
+ever see :class:`~repro.sim.messages.EnvelopeView` metadata.  They are
+strictly weaker than the definition allows, which preserves the paper's
+guarantees; :class:`ContentAwareMinWithholdScheduler` is deliberately
+*stronger* than allowed and exists solely for the E6 ablation that shows
+why the restriction is necessary.
+
+Corruption strategies decide *who* gets corrupted and *when*; the kernel
+enforces the budget of ``f`` corruptions and the no-front-running rule
+(messages already submitted by a process before its corruption are
+delivered unchanged).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.sim.byzantine import ByzantineBehavior, SilentBehavior
+from repro.sim.messages import EnvelopeView
+
+if TYPE_CHECKING:
+    from repro.sim.network import SchedulerPool
+
+__all__ = [
+    "AdaptiveFirstSpeakersCorruption",
+    "CommitteeTargetingCorruption",
+    "Adversary",
+    "ContentAwareMinWithholdScheduler",
+    "CorruptionStrategy",
+    "FIFOScheduler",
+    "PartitionScheduler",
+    "RandomScheduler",
+    "ReplayScheduler",
+    "Scheduler",
+    "ScriptedScheduler",
+    "StaticCorruption",
+    "TargetedDelayScheduler",
+]
+
+
+class _IndexedSet:
+    """A set supporting O(1) add/discard and O(1) uniform random choice."""
+
+    def __init__(self) -> None:
+        self._items: list[int] = []
+        self._positions: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._positions
+
+    def add(self, item: int) -> None:
+        if item not in self._positions:
+            self._positions[item] = len(self._items)
+            self._items.append(item)
+
+    def discard(self, item: int) -> None:
+        position = self._positions.pop(item, None)
+        if position is None:
+            return
+        last = self._items.pop()
+        if position < len(self._items):
+            self._items[position] = last
+            self._positions[last] = position
+
+    def choose(self, rng: random.Random) -> int:
+        return self._items[rng.randrange(len(self._items))]
+
+
+class Scheduler:
+    """Chooses the next message to deliver.
+
+    ``content_aware`` declares whether the scheduler may read payloads; the
+    pool refuses payload access to schedulers that do not set it, so a
+    scheduler cannot *accidentally* break the delayed-adaptive model.
+    """
+
+    content_aware = False
+
+    def on_submit(self, seq: int, view: EnvelopeView) -> None:
+        """Hook: a new message entered the network."""
+
+    def on_delivered(self, seq: int) -> None:
+        """Hook: a message left the network."""
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        """Return the ``seq`` of the message to deliver next."""
+        raise NotImplementedError
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random delivery order -- the baseline oblivious adversary."""
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self.rng = rng or random.Random()
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        return pool.random_seq(self.rng)
+
+
+class FIFOScheduler(Scheduler):
+    """Delivers messages in submission order (a synchronous-looking run).
+
+    Useful as a best-case debugging schedule; it is of course also a legal
+    asynchronous adversary.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[int] = []
+        self._delivered: set[int] = set()
+
+    def on_submit(self, seq: int, view: EnvelopeView) -> None:
+        heapq.heappush(self._heap, seq)
+
+    def on_delivered(self, seq: int) -> None:
+        self._delivered.add(seq)
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        while self._heap and self._heap[0] in self._delivered:
+            self._delivered.discard(heapq.heappop(self._heap))
+        return self._heap[0]
+
+
+class TargetedDelayScheduler(Scheduler):
+    """Starves a fixed set of processes: messages to or from the targets are
+    delivered only when nothing else is in flight.
+
+    Target selection is content-oblivious (by pid), so this is a legal
+    delayed-adaptive adversary; it stresses quorum liveness by simulating
+    very slow links around the targets.
+    """
+
+    def __init__(self, targets: Iterable[int], rng: random.Random | None = None) -> None:
+        self.targets = frozenset(targets)
+        self.rng = rng or random.Random()
+        self._normal = _IndexedSet()
+        self._delayed = _IndexedSet()
+
+    def on_submit(self, seq: int, view: EnvelopeView) -> None:
+        if view.sender in self.targets or view.dest in self.targets:
+            self._delayed.add(seq)
+        else:
+            self._normal.add(seq)
+
+    def on_delivered(self, seq: int) -> None:
+        self._normal.discard(seq)
+        self._delayed.discard(seq)
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        bucket = self._normal if len(self._normal) else self._delayed
+        return bucket.choose(self.rng)
+
+
+class ScriptedScheduler(Scheduler):
+    """Delivery order driven by an explicit choice sequence.
+
+    ``choices[i] mod |pool|`` indexes the in-flight set at step i; when
+    the script runs out, a deterministic fallback (index 0) applies.
+    Content-oblivious and therefore a legal delayed-adaptive adversary.
+
+    Built for property-based testing: hypothesis supplies the choice list
+    and *shrinks it* on failure, turning "some schedule breaks the
+    protocol" into a minimal counterexample schedule.
+    """
+
+    def __init__(self, choices: Iterable[int]) -> None:
+        self._choices = list(choices)
+        self._position = 0
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        if self._position < len(self._choices):
+            index = self._choices[self._position] % len(pool)
+            self._position += 1
+        else:
+            index = 0
+        return pool.seq_at(index)
+
+
+class ReplayScheduler(Scheduler):
+    """Re-executes a recorded schedule exactly.
+
+    Takes the ``(sender, dest)`` delivery order of a previous run (from
+    :meth:`repro.sim.trace.TraceRecorder.delivery_order`) and delivers the
+    in-flight message matching each pair in turn.  Valid only when the
+    replayed run is byte-identical up to scheduling (same protocol code,
+    keys and seed); raises loudly when the schedule diverges.
+    """
+
+    def __init__(self, order: Iterable[tuple[int, int]]) -> None:
+        self._order = list(order)
+        self._position = 0
+        # (sender, dest) -> FIFO of in-flight seqs on that link.  Per-link
+        # FIFO matches the kernel's per-link submission order.
+        self._links: dict[tuple[int, int], list[int]] = {}
+
+    def on_submit(self, seq: int, view: EnvelopeView) -> None:
+        self._links.setdefault((view.sender, view.dest), []).append(seq)
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        if self._position >= len(self._order):
+            raise RuntimeError(
+                "replay schedule exhausted but messages remain in flight; "
+                "the run being replayed diverged from the recording"
+            )
+        link = self._order[self._position]
+        self._position += 1
+        queue = self._links.get(link)
+        if not queue:
+            raise RuntimeError(
+                f"replay schedule expects a message on link {link} but none "
+                "is in flight; the run diverged from the recording"
+            )
+        return queue.pop(0)
+
+
+class PartitionScheduler(Scheduler):
+    """Temporarily partitions the network into two halves.
+
+    Messages crossing the cut are withheld until ``heal_after`` intra-
+    partition deliveries have happened, then everything mixes randomly.
+    A legal delayed-adaptive adversary (the cut is chosen by pid, and
+    nothing is ever dropped): asynchronous protocols must tolerate any
+    finite partition, which is exactly what the liveness tests use this
+    for.  Note a partition smaller than a quorum simply stalls until the
+    heal -- that is the expected behaviour, not a bug.
+    """
+
+    def __init__(
+        self,
+        group_a: Iterable[int],
+        heal_after: int,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.group_a = frozenset(group_a)
+        self.heal_after = heal_after
+        self.rng = rng or random.Random()
+        self._delivered = 0
+        self._intra = _IndexedSet()
+        self._cross = _IndexedSet()
+
+    @property
+    def healed(self) -> bool:
+        return self._delivered >= self.heal_after
+
+    def on_submit(self, seq: int, view: EnvelopeView) -> None:
+        crosses = (view.sender in self.group_a) != (view.dest in self.group_a)
+        if crosses and not self.healed:
+            self._cross.add(seq)
+        else:
+            self._intra.add(seq)
+
+    def on_delivered(self, seq: int) -> None:
+        self._delivered += 1
+        self._intra.discard(seq)
+        self._cross.discard(seq)
+
+    def _merge_after_heal(self) -> None:
+        # Messages withheld during the partition must rejoin the common
+        # pool, otherwise a protocol that keeps generating traffic (BA
+        # loops rounds forever) would starve them indefinitely -- a
+        # reliable-link violation in effect.
+        for seq in list(self._cross._items):
+            self._cross.discard(seq)
+            self._intra.add(seq)
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        if self.healed:
+            if len(self._cross):
+                self._merge_after_heal()
+            return self._intra.choose(self.rng)
+        if not len(self._intra):
+            # A side has drained: deliver a withheld message (the model
+            # only lets the adversary reorder, never block forever).
+            return self._cross.choose(self.rng)
+        return self._intra.choose(self.rng)
+
+
+class ContentAwareMinWithholdScheduler(Scheduler):
+    """ABLATION ONLY -- violates the delayed-adaptive model.
+
+    Reads coin-message payloads and withholds the messages carrying the
+    smallest VRF values so that the global minimum never becomes *common*
+    (received by enough correct processes), then starves the processes that
+    did see it.  Against Algorithm 1 this visibly collapses the coin's
+    success rate, demonstrating why the paper's adversary restriction is
+    load-bearing (experiment E6).
+
+    The attack keys on any payload exposing an integer ``value`` attribute
+    above 1 (the coin's FIRST/SECOND messages do: VRF values are 256-bit).
+    Every message carrying the smallest value observed so far -- the
+    origin's FIRST *and* every SECOND relaying the minimum -- is delivered
+    only when nothing else is in flight.  Quorums therefore fill without
+    the minimum wherever the spare senders allow it, while the minimum's
+    owner itself outputs the true minimum's bit: disagreement in roughly
+    half the runs.
+
+    Note the attack needs scheduling slack: if f processes are also
+    *silent*, every correct sender is quorum-critical and withholding
+    degenerates to reordering (the E6 bench shows both regimes).
+    """
+
+    content_aware = True
+
+    def __init__(self, rng: random.Random | None = None) -> None:
+        self.rng = rng or random.Random()
+        self._normal = _IndexedSet()
+        self._withheld = _IndexedSet()
+        self._values: dict[int, int] = {}
+        self._min_value: int | None = None
+
+    def _classify(self, seq: int) -> None:
+        withhold = (
+            self._min_value is not None
+            and self._values.get(seq) == self._min_value
+        )
+        if withhold:
+            self._normal.discard(seq)
+            self._withheld.add(seq)
+        else:
+            self._withheld.discard(seq)
+            self._normal.add(seq)
+
+    def on_submit(self, seq: int, view: EnvelopeView) -> None:
+        # Payload inspection happens in inspect_payload (called by the pool
+        # because we declared content_aware); until then treat as normal.
+        self._normal.add(seq)
+
+    def inspect_payload(self, seq: int, payload: object, sender: int) -> None:
+        value = getattr(payload, "value", None)
+        # Ignore tiny values: protocol-control fields (estimates, aux bits)
+        # also surface a .value; the coin's 256-bit outputs never collide
+        # with them.
+        if not isinstance(value, int) or value <= 1:
+            return
+        self._values[seq] = value
+        if self._min_value is None or value < self._min_value:
+            self._min_value = value
+            # Reclassify everything currently believed normal.
+            for known_seq in list(self._values):
+                self._classify(known_seq)
+        else:
+            self._classify(seq)
+
+    def on_delivered(self, seq: int) -> None:
+        self._values.pop(seq, None)
+        self._normal.discard(seq)
+        self._withheld.discard(seq)
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        bucket = self._normal if len(self._normal) else self._withheld
+        return bucket.choose(self.rng)
+
+
+class CorruptionStrategy:
+    """Decides which processes to corrupt and when (budget enforced by kernel)."""
+
+    def initial_corruptions(self, n: int, f: int) -> set[int]:
+        """Processes corrupted before the run starts."""
+        return set()
+
+    def on_delivery(self, view: EnvelopeView, corrupted: frozenset[int]) -> set[int]:
+        """Additional corruptions requested after observing a delivery.
+
+        Receives only the metadata view -- adaptive corruption is allowed
+        by the model, predicting VRF outputs is not.
+        """
+        return set()
+
+
+class StaticCorruption(CorruptionStrategy):
+    """Corrupts a fixed pid set at time zero (the standard experiment setup)."""
+
+    def __init__(self, pids: Iterable[int]) -> None:
+        self.pids = set(pids)
+
+    def initial_corruptions(self, n: int, f: int) -> set[int]:
+        return set(self.pids)
+
+
+class AdaptiveFirstSpeakersCorruption(CorruptionStrategy):
+    """Corrupts the first ``f`` distinct senders it observes.
+
+    A legal delayed-adaptive strategy: it reacts to *who spoke*, not to
+    message contents.  Because corruption cannot remove messages already
+    sent (no after-the-fact removal), this attack is provably weak against
+    the coin -- tests use it to confirm exactly that.
+    """
+
+    def on_delivery(self, view: EnvelopeView, corrupted: frozenset[int]) -> set[int]:
+        if view.sender in corrupted:
+            return set()
+        return {view.sender}
+
+
+class CommitteeTargetingCorruption(CorruptionStrategy):
+    """Corrupts committee members the moment their membership is revealed.
+
+    A legal delayed-adaptive strategy: committee membership only becomes
+    observable when a member's message appears on the wire (metadata kind
+    is enough -- no payload access).  The paper's *process replaceability*
+    argument says this is futile: a correct committee member broadcasts at
+    most one message per role, so by the time the adversary can react, the
+    contribution it wanted to suppress is already in flight and cannot be
+    removed.  Tests and the E8 grid confirm protocols survive it.
+    """
+
+    def __init__(self, message_kinds: Iterable[str] = ("FirstMsg", "SecondMsg",
+                                                       "InitMsg", "EchoMsg", "OkMsg")) -> None:
+        self.message_kinds = frozenset(message_kinds)
+
+    def on_delivery(self, view: EnvelopeView, corrupted: frozenset[int]) -> set[int]:
+        if view.kind in self.message_kinds and view.sender not in corrupted:
+            return {view.sender}
+        return set()
+
+
+class Adversary:
+    """Scheduler + corruption strategy + behaviour for corrupted processes."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler | None = None,
+        corruption: CorruptionStrategy | None = None,
+        behavior_factory: Callable[[int], ByzantineBehavior] | None = None,
+    ) -> None:
+        self.scheduler = scheduler or RandomScheduler()
+        self.corruption = corruption or CorruptionStrategy()
+        self.behavior_factory = behavior_factory or (lambda pid: SilentBehavior())

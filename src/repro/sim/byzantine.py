@@ -1,0 +1,90 @@
+"""Byzantine behaviours.
+
+A corrupted process is driven by a :class:`ByzantineBehavior` instead of a
+protocol generator.  Behaviours receive the corrupted process's context --
+i.e. its private keys, mailbox and links -- which models the adversary's
+"full access to corrupted processes' private data" (Definition 2.1).  They
+may send arbitrary :class:`~repro.sim.messages.Message` objects; they
+cannot forge other processes' VRF outputs or signatures because they never
+hold those keys.
+
+Protocol-specific attacks (approver equivocation, coin withholding, ...)
+are built on :class:`ScriptedBehavior` in the protocol test modules; the
+generic behaviours here cover the crash/silent spectrum every experiment
+needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.messages import Envelope
+from repro.sim.process import ProcessContext
+
+__all__ = [
+    "ByzantineBehavior",
+    "CrashBehavior",
+    "ScriptedBehavior",
+    "SilentBehavior",
+]
+
+
+class ByzantineBehavior:
+    """Base behaviour: hooks invoked by the kernel."""
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        """Called once when the run starts (or never, if corrupted later)."""
+
+    def on_corrupt(self, ctx: ProcessContext) -> None:
+        """Called when an initially-correct process is adaptively corrupted."""
+
+    def on_deliver(self, ctx: ProcessContext, envelope: Envelope) -> None:
+        """Called for every message delivered to the corrupted process."""
+
+
+class SilentBehavior(ByzantineBehavior):
+    """Sends nothing, ever -- the maximal omission failure."""
+
+
+class CrashBehavior(ByzantineBehavior):
+    """Alias of :class:`SilentBehavior` for corrupt-at-start crash faults.
+
+    When installed via adaptive corruption it models a crash at the
+    corruption point: everything sent before corruption stands (no
+    after-the-fact removal), nothing is sent afterwards.
+    """
+
+
+class ScriptedBehavior(ByzantineBehavior):
+    """Behaviour assembled from plain callables, for protocol-aware attacks.
+
+    Parameters are optional callbacks with the same signatures as the base
+    hooks.  Example -- an approver equivocator that inits both values::
+
+        ScriptedBehavior(on_start=lambda ctx: (
+            ctx.broadcast(InitMsg(instance, value=0, ...)),
+            ctx.broadcast(InitMsg(instance, value=1, ...)),
+        ))
+    """
+
+    def __init__(
+        self,
+        on_start: Callable[[ProcessContext], None] | None = None,
+        on_corrupt: Callable[[ProcessContext], None] | None = None,
+        on_deliver: Callable[[ProcessContext, Envelope], None] | None = None,
+    ) -> None:
+        self._on_start = on_start
+        self._on_corrupt = on_corrupt
+        self._on_deliver = on_deliver
+
+    def on_start(self, ctx: ProcessContext) -> None:
+        if self._on_start is not None:
+            self._on_start(ctx)
+
+    def on_corrupt(self, ctx: ProcessContext) -> None:
+        if self._on_corrupt is not None:
+            self._on_corrupt(ctx)
+
+    def on_deliver(self, ctx: ProcessContext, envelope: Envelope) -> None:
+        if self._on_deliver is not None:
+            self._on_deliver(ctx, envelope)

@@ -1,0 +1,43 @@
+"""Per-process mailbox: append-only, indexed by protocol instance.
+
+Asynchrony means messages for a future round (or a sub-protocol the
+process has not entered yet) can arrive arbitrarily early; the mailbox
+buffers everything and lets each wait-condition consume its instance's
+stream incrementally via a cursor, so re-evaluation after every delivery
+stays O(new messages).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+from repro.sim.messages import Message
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """All messages delivered to one process, grouped by instance."""
+
+    def __init__(self) -> None:
+        self._by_instance: dict[Hashable, list[tuple[int, Message]]] = {}
+        self.total_delivered = 0
+
+    def add(self, sender: int, message: Message) -> None:
+        """Record a delivered message (called by the kernel only)."""
+        self._by_instance.setdefault(message.instance, []).append((sender, message))
+        self.total_delivered += 1
+
+    def stream(self, instance: Hashable) -> list[tuple[int, Message]]:
+        """The (growing) list of ``(sender, message)`` for ``instance``.
+
+        Callers must treat the list as append-only and read it with their
+        own cursor; they must never mutate it.
+        """
+        return self._by_instance.setdefault(instance, [])
+
+    def instances(self) -> Iterator[Hashable]:
+        return iter(self._by_instance)
+
+    def count(self, instance: Hashable) -> int:
+        return len(self._by_instance.get(instance, ()))

@@ -1,0 +1,49 @@
+"""Run metrics: word complexity and causal time, per the paper's definitions.
+
+* **Word complexity** (Section 2): the total number of words sent by
+  *correct* processes; a word holds a signature, a VRF output, or a
+  constant-size value.  Each message self-reports its size via
+  ``Message.words()``.
+* **Running time**: the longest causally-related message chain until all
+  correct processes decide.  The kernel threads a causal depth through
+  every envelope; the duration is the maximum decision depth.
+
+Message counts and per-kind breakdowns are also kept -- they make the
+complexity benches' output auditable.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.sim.messages import Envelope
+
+__all__ = ["MetricsRecorder"]
+
+
+@dataclass
+class MetricsRecorder:
+    """Mutable accumulator the kernel writes into during a run."""
+
+    words_correct: int = 0
+    words_total: int = 0
+    messages_sent_correct: int = 0
+    messages_sent_total: int = 0
+    messages_delivered: int = 0
+    words_by_kind: Counter = field(default_factory=Counter)
+    messages_by_kind: Counter = field(default_factory=Counter)
+
+    def record_send(self, envelope: Envelope) -> None:
+        words = envelope.payload.words()
+        kind = type(envelope.payload).__name__
+        self.words_total += words
+        self.messages_sent_total += 1
+        if envelope.sender_correct:
+            self.words_correct += words
+            self.messages_sent_correct += 1
+            self.words_by_kind[kind] += words
+            self.messages_by_kind[kind] += 1
+
+    def record_delivery(self, envelope: Envelope) -> None:
+        self.messages_delivered += 1

@@ -1,0 +1,320 @@
+"""The simulation kernel: reliable links, adversarial delivery, corruption.
+
+One :class:`Simulation` models one run.  The event loop is::
+
+    while in-flight messages remain and the stop condition is unmet:
+        seq  <- adversary.scheduler.choose(pool)   # all asynchrony is here
+        deliver envelope(seq) to its destination
+        let the corruption strategy react (budget f, no message removal)
+
+Correct processes are generator coroutines (see
+:mod:`repro.sim.process`); corrupted ones are driven by
+:class:`~repro.sim.byzantine.ByzantineBehavior` hooks.  Reliable links:
+nothing is ever dropped -- the adversary only reorders.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.crypto.pki import PKI
+from repro.sim.adversary import Adversary
+from repro.sim.messages import Envelope, EnvelopeView, Message
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.process import ProcessContext, ProtocolFactory, Wait
+
+__all__ = ["SchedulerPool", "Simulation"]
+
+DEFAULT_MAX_DELIVERIES = 2_000_000
+
+
+class SchedulerPool:
+    """The scheduler's window onto the in-flight message set.
+
+    Payload access is refused unless the scheduler declared itself
+    ``content_aware`` -- the mechanical enforcement of delayed adaptivity.
+    """
+
+    def __init__(self, simulation: "Simulation") -> None:
+        self._simulation = simulation
+
+    def __len__(self) -> int:
+        return len(self._simulation._seq_list)
+
+    def seq_at(self, index: int) -> int:
+        return self._simulation._seq_list[index]
+
+    def random_seq(self, rng: random.Random) -> int:
+        return self._simulation._seq_list[rng.randrange(len(self._simulation._seq_list))]
+
+    def view(self, seq: int) -> EnvelopeView:
+        return EnvelopeView.of(self._simulation._in_flight[seq])
+
+    def payload(self, seq: int) -> Message:
+        if not self._simulation.adversary.scheduler.content_aware:
+            raise PermissionError(
+                "content-oblivious scheduler attempted to read a payload; "
+                "this would violate the delayed-adaptive adversary model"
+            )
+        return self._simulation._in_flight[seq].payload
+
+
+class Simulation:
+    """One run of a protocol under one adversary.
+
+    Parameters
+    ----------
+    n, f:
+        System size and corruption budget.  ``f`` bounds the *total* number
+        of corruptions (initial plus adaptive).
+    pki:
+        Trusted setup (generated before the run, as the paper assumes).
+    adversary:
+        Scheduler + corruption strategy + Byzantine behaviour factory.
+    seed:
+        Root of all per-process deterministic randomness.
+    params:
+        Arbitrary protocol parameter object exposed as ``ctx.params``.
+    stop_condition:
+        ``callable(sim) -> bool`` evaluated after every delivery; lets BA
+        runs halt once every correct process decided even though the
+        protocol itself loops forever.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        pki: PKI,
+        adversary: Adversary,
+        seed: int = 0,
+        params: Any = None,
+        max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+        stop_condition: Callable[["Simulation"], bool] | None = None,
+    ) -> None:
+        if pki.n != n:
+            raise ValueError("PKI size does not match n")
+        if not 0 <= f < n:
+            raise ValueError("need 0 <= f < n")
+        self.n = n
+        self.f = f
+        self.pki = pki
+        self.adversary = adversary
+        self.seed = seed
+        self.params = params
+        self.max_deliveries = max_deliveries
+        self.stop_condition = stop_condition
+        self.metrics = MetricsRecorder()
+
+        self.contexts = [ProcessContext(pid, self) for pid in range(n)]
+        self.corrupted: set[int] = set()
+        self.decided: set[int] = set()
+        self.finished: set[int] = set()
+        self.returns: dict[int, Any] = {}
+
+        self._behaviors: dict[int, Any] = {}
+        self._generators: dict[int, Any] = {}
+        self._pending: dict[int, Wait | None] = {}
+        self._factories: dict[int, ProtocolFactory] = {}
+
+        self._in_flight: dict[int, Envelope] = {}
+        self._seq_list: list[int] = []
+        self._seq_pos: dict[int, int] = {}
+        self._next_seq = 0
+        self._pool = SchedulerPool(self)
+        self._stopped = False
+        self._started = False
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_protocol(self, pid: int, factory: ProtocolFactory) -> None:
+        """Install the protocol a (correct) process will run."""
+        self._factories[pid] = factory
+
+    def set_protocol_all(self, factory: ProtocolFactory) -> None:
+        for pid in range(self.n):
+            self.set_protocol(pid, factory)
+
+    # -- kernel services used by ProcessContext ---------------------------------
+
+    def submit(self, sender: int, dest: int, message: Message) -> None:
+        """Place a message on the reliable link from ``sender`` to ``dest``."""
+        if not 0 <= dest < self.n:
+            raise ValueError(f"invalid destination {dest}")
+        ctx = self.contexts[sender]
+        envelope = Envelope(
+            seq=self._next_seq,
+            sender=sender,
+            dest=dest,
+            payload=message,
+            depth=ctx.depth + 1,
+            sender_correct=sender not in self.corrupted,
+        )
+        self._next_seq += 1
+        self.metrics.record_send(envelope)
+        self._in_flight[envelope.seq] = envelope
+        self._seq_pos[envelope.seq] = len(self._seq_list)
+        self._seq_list.append(envelope.seq)
+        scheduler = self.adversary.scheduler
+        scheduler.on_submit(envelope.seq, EnvelopeView.of(envelope))
+        if scheduler.content_aware:
+            inspect = getattr(scheduler, "inspect_payload", None)
+            if inspect is not None:
+                inspect(envelope.seq, message, sender)
+
+    def note_decision(self, pid: int) -> None:
+        self.decided.add(pid)
+
+    # -- corruption ---------------------------------------------------------------
+
+    def corrupt(self, pid: int) -> bool:
+        """Corrupt ``pid`` if the budget allows; returns True on success.
+
+        Messages the process already submitted stay in flight untouched
+        (no after-the-fact removal, no front-running).
+        """
+        if pid in self.corrupted or len(self.corrupted) >= self.f:
+            return False
+        self.corrupted.add(pid)
+        self._generators.pop(pid, None)
+        self._pending.pop(pid, None)
+        behavior = self.adversary.behavior_factory(pid)
+        self._behaviors[pid] = behavior
+        ctx = self.contexts[pid]
+        if self._started:
+            behavior.on_corrupt(ctx)
+        return True
+
+    # -- correct-process stepping ----------------------------------------------
+
+    def _advance(self, pid: int, value: Any, first: bool) -> None:
+        """Run ``pid``'s generator until it blocks or returns."""
+        generator = self._generators[pid]
+        ctx = self.contexts[pid]
+        spins = 0
+        while True:
+            spins += 1
+            if spins > 100_000:
+                # A condition that is immediately true on every yield would
+                # otherwise livelock the kernel inside a single delivery.
+                raise RuntimeError(
+                    f"process {pid} resumed 100000 times without blocking; "
+                    "its wait condition is probably unconditionally true"
+                )
+            try:
+                wait = next(generator) if first else generator.send(value)
+            except StopIteration as stop:
+                self.returns[pid] = stop.value
+                self.finished.add(pid)
+                self._pending[pid] = None
+                del self._generators[pid]
+                return
+            first = False
+            # A condition may already be satisfiable from buffered messages.
+            result = wait.condition(ctx.mailbox)
+            if result is None:
+                self._pending[pid] = wait
+                return
+            value = result
+
+    def _deliver(self, envelope: Envelope) -> None:
+        self.metrics.record_delivery(envelope)
+        pid = envelope.dest
+        ctx = self.contexts[pid]
+        ctx.depth = max(ctx.depth, envelope.depth)
+        if pid in self.corrupted:
+            self._behaviors[pid].on_deliver(ctx, envelope)
+            return
+        ctx.mailbox.add(envelope.sender, envelope.payload)
+        for handler in list(ctx.background_handlers):
+            handler(ctx.mailbox)
+        if pid in self._generators:
+            wait = self._pending.get(pid)
+            if wait is not None:
+                result = wait.condition(ctx.mailbox)
+                if result is not None:
+                    self._pending[pid] = None
+                    self._advance(pid, result, first=False)
+
+    def _remove_in_flight(self, seq: int) -> Envelope:
+        envelope = self._in_flight.pop(seq)
+        position = self._seq_pos.pop(seq)
+        last = self._seq_list.pop()
+        if position < len(self._seq_list):
+            self._seq_list[position] = last
+            self._seq_pos[last] = position
+        return envelope
+
+    # -- main loop -----------------------------------------------------------------
+
+    def _should_stop(self) -> bool:
+        if self.stop_condition is None:
+            return False
+        return bool(self.stop_condition(self))
+
+    def run(self) -> "Simulation":
+        """Execute the run to completion; returns ``self`` for chaining."""
+        if self._started:
+            raise RuntimeError("a Simulation object runs at most once")
+        self._started = True
+
+        for pid in self.adversary.corruption.initial_corruptions(self.n, self.f):
+            self.corrupt(pid)
+
+        # Start Byzantine behaviours first: their initial messages being
+        # already in flight when correct processes start only strengthens
+        # the adversary.
+        for pid in sorted(self.corrupted):
+            self._behaviors[pid].on_start(self.contexts[pid])
+        for pid in range(self.n):
+            if pid in self.corrupted:
+                continue
+            factory = self._factories.get(pid)
+            if factory is None:
+                raise RuntimeError(f"no protocol installed for process {pid}")
+            self._generators[pid] = factory(self.contexts[pid])
+            self._pending[pid] = None
+        for pid in range(self.n):
+            if pid not in self.corrupted:
+                self._advance(pid, None, first=True)
+
+        deliveries = 0
+        scheduler = self.adversary.scheduler
+        corruption = self.adversary.corruption
+        while self._in_flight and deliveries < self.max_deliveries:
+            if self._should_stop():
+                self._stopped = True
+                break
+            seq = scheduler.choose(self._pool)
+            envelope = self._remove_in_flight(seq)
+            scheduler.on_delivered(seq)
+            self._deliver(envelope)
+            deliveries += 1
+            if len(self.corrupted) < self.f:
+                view = EnvelopeView.of(envelope)
+                for pid in corruption.on_delivery(view, frozenset(self.corrupted)):
+                    self.corrupt(pid)
+        else:
+            self._stopped = self._should_stop()
+
+        self.deliveries = deliveries
+        self.exhausted = deliveries >= self.max_deliveries
+        return self
+
+    # -- post-run inspection ----------------------------------------------------
+
+    @property
+    def correct_pids(self) -> list[int]:
+        return [pid for pid in range(self.n) if pid not in self.corrupted]
+
+    @property
+    def stopped_by_condition(self) -> bool:
+        return self._stopped
+
+    @property
+    def deadlocked(self) -> bool:
+        """True if the run ended with a correct process still blocked."""
+        if self._stopped or self.exhausted:
+            return False
+        return any(pid in self._generators for pid in self.correct_pids)

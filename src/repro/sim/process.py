@@ -1,0 +1,151 @@
+"""Process runtime: contexts, wait-conditions and the protocol coroutine type.
+
+A protocol is a generator function ``protocol(ctx)`` that performs sends
+through ``ctx``, then ``yield``s :class:`Wait` objects whose condition
+closures implement the protocol's ``upon receiving ...`` handlers.  The
+kernel re-evaluates the pending condition after every delivery to the
+process; when the condition returns non-``None`` the generator resumes
+with that value.  Sub-protocols (the approver inside Byzantine Agreement,
+for instance) compose with ``yield from`` and simply return their result.
+
+Condition closures are allowed to send messages through the captured
+context -- that is exactly how reactive handlers such as "upon receiving
+ECHO(v) from W processes, broadcast OK(v)" are expressed while the main
+body blocks on the final return condition.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.crypto.hashing import derive_seed
+from repro.crypto.pki import PKI
+from repro.crypto.vrf import VRFOutput
+from repro.sim.mailbox import Mailbox
+from repro.sim.messages import Message
+
+if TYPE_CHECKING:
+    from repro.sim.network import Simulation
+
+__all__ = ["ProcessContext", "Protocol", "ProtocolFactory", "Wait"]
+
+# A protocol coroutine yields Wait objects and returns its final result.
+Protocol = Generator["Wait", Any, Any]
+ProtocolFactory = Callable[["ProcessContext"], Protocol]
+
+
+@dataclass
+class Wait:
+    """A blocking point: resume when ``condition(mailbox)`` is non-``None``.
+
+    The same ``Wait`` object is re-evaluated repeatedly, so conditions may
+    keep incremental state (cursors, partial tallies) in their closure.
+    """
+
+    condition: Callable[[Mailbox], Any]
+    description: str = ""
+
+
+class ProcessContext:
+    """Everything one process may legitimately touch.
+
+    Holds the process's *own* private keys only; Byzantine behaviours get
+    the same interface after corruption, which models the adversary
+    learning the corrupted process's private state -- and nothing more.
+    """
+
+    def __init__(self, pid: int, simulation: "Simulation") -> None:
+        self.pid = pid
+        self._simulation = simulation
+        self.mailbox = Mailbox()
+        # Deterministic per-process randomness, independent across pids.
+        self.rng = random.Random(derive_seed(simulation.seed, "process", pid))
+        self.depth = 0
+        self.decision: Any = None
+        self.decided = False
+        self.decision_depth: int | None = None
+        # Forever-active "upon receiving ..." handlers (e.g. MMR's
+        # BV-broadcast relay rule, which must keep relaying even after the
+        # process moved on to later rounds).  Called on every delivery.
+        self.background_handlers: list[Callable[[Mailbox], None]] = []
+        # Free-form per-process facts recorded by protocols (e.g. the round
+        # a decision happened in); snapshotted into RunResult.notes.
+        self.notes: dict[str, Any] = {}
+
+    # -- static environment --------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self._simulation.n
+
+    @property
+    def pki(self) -> PKI:
+        return self._simulation.pki
+
+    @property
+    def params(self) -> Any:
+        """Protocol parameter object installed by the runner (if any)."""
+        return self._simulation.params
+
+    # -- communication --------------------------------------------------------
+
+    def send(self, dest: int, message: Message) -> None:
+        """Send ``message`` to process ``dest`` over the reliable link."""
+        self._simulation.submit(self.pid, dest, message)
+
+    def broadcast(self, message: Message) -> None:
+        """Send ``message`` to every process, including ourselves.
+
+        Self-delivery goes through the network like any other message; the
+        adversary may reorder it, which only weakens the correct processes
+        and therefore preserves the paper's guarantees.
+        """
+        for dest in range(self.n):
+            self.send(dest, message)
+
+    def add_background_handler(self, handler: Callable[[Mailbox], None]) -> None:
+        """Register a side-effect-only handler run on every future delivery.
+
+        The handler is invoked once immediately so it can catch up on
+        already-buffered messages, then after each delivery, *before* the
+        pending wait-condition is evaluated.  Handlers keep their own
+        cursors, so each call costs O(new messages).
+        """
+        self.background_handlers.append(handler)
+        handler(self.mailbox)
+
+    # -- decisions -------------------------------------------------------------
+
+    def decide(self, value: Any) -> None:
+        """Record an irrevocable decision (at most once)."""
+        if self.decided:
+            if value != self.decision:
+                raise RuntimeError(
+                    f"process {self.pid} tried to change its decision "
+                    f"from {self.decision!r} to {value!r}"
+                )
+            return
+        self.decided = True
+        self.decision = value
+        self.decision_depth = self.depth
+        self._simulation.note_decision(self.pid)
+
+    # -- cryptography (own keys only) -------------------------------------------
+
+    def vrf(self, alpha: bytes) -> VRFOutput:
+        """Evaluate our own VRF on ``alpha``."""
+        return self.pki.vrf_scheme.prove(self.pki.vrf_private(self.pid), alpha)
+
+    def sign(self, message: bytes) -> Any:
+        """Sign ``message`` with our own signing key."""
+        return self.pki.signature_scheme.sign(
+            self.pki.signature_private(self.pid), message
+        )
+
+    def verify_vrf(self, sender: int, alpha: bytes, output: VRFOutput) -> bool:
+        return self.pki.vrf_verify(sender, alpha, output)
+
+    def verify_signature(self, sender: int, message: bytes, signature: Any) -> bool:
+        return self.pki.signature_verify(sender, message, signature)

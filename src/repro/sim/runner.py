@@ -1,0 +1,173 @@
+"""High-level run helpers and the immutable result snapshot."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.hashing import derive_seed
+from repro.crypto.pki import PKI
+from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.metrics import MetricsRecorder
+from repro.sim.network import DEFAULT_MAX_DELIVERIES, Simulation
+from repro.sim.process import ProcessContext, ProtocolFactory
+
+__all__ = [
+    "RunResult",
+    "run_protocol",
+    "stop_when_all_decided",
+    "stop_when_all_returned",
+]
+
+
+def stop_when_all_decided(simulation: Simulation) -> bool:
+    """Stop once every correct process has decided.
+
+    This is how runs of the (forever-looping) Byzantine Agreement protocol
+    terminate: the algorithm never halts, the experiment does.
+    """
+    return all(pid in simulation.decided for pid in simulation.correct_pids)
+
+
+def stop_when_all_returned(simulation: Simulation) -> bool:
+    """Stop once every correct process's protocol generator returned."""
+    return all(pid in simulation.finished for pid in simulation.correct_pids)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Snapshot of one finished run."""
+
+    n: int
+    f: int
+    seed: int
+    corrupted: frozenset[int]
+    returns: dict[int, Any]
+    decisions: dict[int, Any]
+    decision_depths: dict[int, int]
+    notes: dict[int, dict[str, Any]]
+    metrics: MetricsRecorder
+    deliveries: int
+    deadlocked: bool
+    exhausted: bool
+    stopped_by_condition: bool
+
+    @property
+    def correct_pids(self) -> list[int]:
+        return [pid for pid in range(self.n) if pid not in self.corrupted]
+
+    @property
+    def words(self) -> int:
+        """Word complexity: words sent by correct processes (paper Section 2)."""
+        return self.metrics.words_correct
+
+    @property
+    def duration(self) -> int:
+        """Causal running time: depth of the deepest decision (or return)."""
+        if self.decision_depths:
+            return max(self.decision_depths.values())
+        return 0
+
+    @property
+    def live(self) -> bool:
+        """True if the run terminated properly (no deadlock, no step cap)."""
+        return not self.deadlocked and not self.exhausted
+
+    @property
+    def all_correct_decided(self) -> bool:
+        return all(pid in self.decisions for pid in self.correct_pids)
+
+    @property
+    def decided_values(self) -> set[Any]:
+        return {self.decisions[pid] for pid in self.correct_pids if pid in self.decisions}
+
+    @property
+    def agreement(self) -> bool:
+        """No two correct processes decided differently (vacuous if none decided)."""
+        return len(self.decided_values) <= 1
+
+    @property
+    def returned_values(self) -> set[Any]:
+        return {
+            self.returns[pid] for pid in self.correct_pids if pid in self.returns
+        }
+
+    @staticmethod
+    def of(simulation: Simulation) -> "RunResult":
+        return RunResult(
+            n=simulation.n,
+            f=simulation.f,
+            seed=simulation.seed,
+            corrupted=frozenset(simulation.corrupted),
+            returns=dict(simulation.returns),
+            decisions={
+                pid: simulation.contexts[pid].decision
+                for pid in simulation.decided
+            },
+            decision_depths={
+                pid: simulation.contexts[pid].decision_depth
+                for pid in simulation.decided
+                if simulation.contexts[pid].decision_depth is not None
+            },
+            notes={
+                pid: dict(simulation.contexts[pid].notes)
+                for pid in range(simulation.n)
+                if simulation.contexts[pid].notes
+            },
+            metrics=simulation.metrics,
+            deliveries=simulation.deliveries,
+            deadlocked=simulation.deadlocked,
+            exhausted=simulation.exhausted,
+            stopped_by_condition=simulation.stopped_by_condition,
+        )
+
+
+def run_protocol(
+    n: int,
+    f: int,
+    protocol: ProtocolFactory,
+    *,
+    adversary: Adversary | None = None,
+    corrupt: set[int] | None = None,
+    seed: int = 0,
+    pki: PKI | None = None,
+    backend: str = "simulated",
+    params: Any = None,
+    stop_condition: Callable[[Simulation], bool] | None = stop_when_all_returned,
+    max_deliveries: int = DEFAULT_MAX_DELIVERIES,
+    protocols_by_pid: dict[int, ProtocolFactory] | None = None,
+) -> RunResult:
+    """Run one protocol instance end to end and snapshot the result.
+
+    By default every process runs ``protocol``, the ``corrupt`` pid set is
+    statically Byzantine-silent, scheduling is uniformly random (seeded
+    from ``seed``), and the run stops when every correct process's
+    generator returns.
+    """
+    rng = random.Random(derive_seed(seed, "setup"))
+    if pki is None:
+        pki = PKI.create(n, backend=backend, rng=rng)
+    if adversary is not None and corrupt is not None:
+        raise ValueError("pass either a full adversary or a corrupt set, not both")
+    if adversary is None:
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(derive_seed(seed, "sched"))),
+            corruption=StaticCorruption(corrupt or set()),
+        )
+    simulation = Simulation(
+        n=n,
+        f=f,
+        pki=pki,
+        adversary=adversary,
+        seed=seed,
+        params=params,
+        max_deliveries=max_deliveries,
+        stop_condition=stop_condition,
+    )
+    simulation.set_protocol_all(protocol)
+    if protocols_by_pid:
+        for pid, factory in protocols_by_pid.items():
+            simulation.set_protocol(pid, factory)
+    simulation.run()
+    return RunResult.of(simulation)

@@ -1,0 +1,186 @@
+"""Event tracing: an auditable record of a run.
+
+A :class:`TraceRecorder` attaches to a :class:`~repro.sim.network.Simulation`
+and logs sends, deliveries, corruptions and decisions in delivery order.
+Used by debugging sessions, the examples, and tests that assert causal
+ordering facts that the aggregate metrics cannot express (e.g. "every
+SECOND message was sent after its sender's FIRST quorum filled").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Hashable, Iterator
+
+if TYPE_CHECKING:
+    from repro.sim.network import Simulation
+
+__all__ = ["TraceEvent", "TraceRecorder", "attach_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced event.
+
+    ``kind`` is one of ``send``, ``deliver``, ``corrupt``, ``decide``.
+    ``step`` is the global delivery counter at the time of the event, so
+    events are totally ordered by (step, index-within-step).
+    """
+
+    step: int
+    kind: str
+    pid: int
+    peer: int | None = None
+    instance: Hashable | None = None
+    message_kind: str | None = None
+    detail: object = None
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` rows; query helpers included."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # -- queries -----------------------------------------------------------
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def for_process(self, pid: int) -> list[TraceEvent]:
+        return [event for event in self.events if event.pid == pid]
+
+    def sends_by(self, pid: int, message_kind: str | None = None) -> list[TraceEvent]:
+        return [
+            event
+            for event in self.events
+            if event.kind == "send"
+            and event.pid == pid
+            and (message_kind is None or event.message_kind == message_kind)
+        ]
+
+    def first(self, kind: str, **fields) -> TraceEvent | None:
+        for event in self.events:
+            if event.kind != kind:
+                continue
+            if all(getattr(event, name) == value for name, value in fields.items()):
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def delivery_order(self) -> list[tuple[int, int]]:
+        """The run's schedule as ``(sender, dest)`` pairs in delivery order.
+
+        Together with :class:`~repro.sim.adversary.ReplayScheduler` this
+        lets an interesting run (a rare failure, a shrunk counterexample)
+        be re-executed deterministically -- e.g. under extra
+        instrumentation -- as long as the protocol code is unchanged.
+        """
+        return [
+            (event.peer, event.pid)
+            for event in self.events
+            if event.kind == "deliver"
+        ]
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable dump of the first ``limit`` events."""
+        lines = []
+        for event in self.events[:limit]:
+            peer = f" -> {event.peer}" if event.peer is not None else ""
+            kind = f" {event.message_kind}" if event.message_kind else ""
+            detail = f" {event.detail!r}" if event.detail is not None else ""
+            lines.append(
+                f"[{event.step:6d}] {event.kind:8s} p{event.pid}{peer}{kind}"
+                f" {event.instance if event.instance is not None else ''}{detail}"
+            )
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)
+
+
+def attach_trace(simulation: "Simulation") -> TraceRecorder:
+    """Attach a recorder to a not-yet-run simulation; returns it.
+
+    Implemented by wrapping the kernel's ``submit``/``_deliver``/``corrupt``
+    and each context's ``decide`` -- no kernel hooks needed, and zero cost
+    when no trace is attached.
+    """
+    recorder = TraceRecorder()
+    deliveries = {"count": 0}
+
+    original_submit = simulation.submit
+    original_deliver = simulation._deliver
+    original_corrupt = simulation.corrupt
+
+    def traced_submit(sender, dest, message):
+        recorder.record(
+            TraceEvent(
+                step=deliveries["count"],
+                kind="send",
+                pid=sender,
+                peer=dest,
+                instance=message.instance,
+                message_kind=type(message).__name__,
+            )
+        )
+        original_submit(sender, dest, message)
+
+    def traced_deliver(envelope):
+        recorder.record(
+            TraceEvent(
+                step=deliveries["count"],
+                kind="deliver",
+                pid=envelope.dest,
+                peer=envelope.sender,
+                instance=envelope.instance,
+                message_kind=type(envelope.payload).__name__,
+                # The payload itself, for trusted-measurement analyses
+                # (e.g. counting Lemma 4.2's 'common' values).  The trace
+                # is an observer's tool, not part of the adversary
+                # interface, so this does not weaken the model.
+                detail=envelope.payload,
+            )
+        )
+        deliveries["count"] += 1
+        original_deliver(envelope)
+
+    def traced_corrupt(pid):
+        corrupted = original_corrupt(pid)
+        if corrupted:
+            recorder.record(
+                TraceEvent(step=deliveries["count"], kind="corrupt", pid=pid)
+            )
+        return corrupted
+
+    simulation.submit = traced_submit  # type: ignore[method-assign]
+    simulation._deliver = traced_deliver  # type: ignore[method-assign]
+    simulation.corrupt = traced_corrupt  # type: ignore[method-assign]
+
+    for ctx in simulation.contexts:
+        original_decide = ctx.decide
+
+        def make_traced(original, pid):
+            def traced(value):
+                already = simulation.contexts[pid].decided
+                original(value)
+                if not already:
+                    recorder.record(
+                        TraceEvent(
+                            step=deliveries["count"],
+                            kind="decide",
+                            pid=pid,
+                            detail=value,
+                        )
+                    )
+            return traced
+
+        ctx.decide = make_traced(original_decide, ctx.pid)  # type: ignore[method-assign]
+    return recorder

@@ -1,0 +1,141 @@
+"""The paper's closed-form bounds: spot values and shape."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    committee_property_bounds,
+    common_values_committee_bound,
+    common_values_fraction_bound,
+    shared_coin_success_bound,
+    whp_coin_success_bound,
+)
+from repro.core.params import ProtocolParams
+
+
+class TestSharedCoinBound:
+    def test_perfect_coin_at_epsilon_third(self):
+        # Remark 4.10: epsilon = 1/3 (f = 0) gives success rate exactly 1/2.
+        assert shared_coin_success_bound(1 / 3) == pytest.approx(0.5)
+
+    def test_positive_above_paper_epsilon(self):
+        assert shared_coin_success_bound(0.109) > 0
+
+    def test_zero_crossing(self):
+        root = (math.sqrt(648) - 24) / 36
+        assert shared_coin_success_bound(root) == pytest.approx(0.0, abs=1e-12)
+        assert shared_coin_success_bound(root - 0.01) < 0
+        assert shared_coin_success_bound(root + 0.01) > 0
+
+    @given(st.floats(0.0, 1 / 3))
+    def test_monotone_in_epsilon(self, eps):
+        step = 0.01
+        if eps + step <= 1 / 3:
+            assert shared_coin_success_bound(eps + step) > shared_coin_success_bound(eps)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            shared_coin_success_bound(0.5)
+        with pytest.raises(ValueError):
+            shared_coin_success_bound(-0.1)
+
+
+class TestCommonValuesBounds:
+    def test_lemma_4_2_spot_value(self):
+        # epsilon = 1/3: c >= 9*(1/3)/(1+2) n = n -- every value common.
+        assert common_values_fraction_bound(1 / 3) == pytest.approx(1.0)
+
+    def test_zero_at_zero(self):
+        assert common_values_fraction_bound(0.0) == 0.0
+
+    def test_committee_bound_increasing_in_d(self):
+        assert common_values_committee_bound(0.1) > common_values_committee_bound(0.05)
+
+    def test_committee_bound_range(self):
+        for d in (0.01, 0.05, 0.1, 0.3):
+            assert 0 < common_values_committee_bound(d) <= 1.1  # fraction of lam
+
+
+class TestWhpCoinBound:
+    def test_zero_crossing_is_papers_d_constant(self):
+        # 18d^2 + 27d - 1 = 0 at d = (sqrt(801)-27)/36 ~ 0.03617 -- the
+        # paper's d > 0.0362 window constant.
+        root = (math.sqrt(801) - 27) / 36
+        assert root == pytest.approx(0.0362, abs=5e-4)
+        assert whp_coin_success_bound(root + 1e-6) > 0
+        assert whp_coin_success_bound(root - 1e-3) < 0
+
+    def test_monotone_in_d(self):
+        values = [whp_coin_success_bound(d) for d in (0.04, 0.08, 0.12, 0.2)]
+        assert values == sorted(values)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            whp_coin_success_bound(1 / 3)
+
+
+class TestChernoff:
+    def test_upper_tail_known_value(self):
+        assert chernoff_upper_tail(100, 0.1) == pytest.approx(math.exp(-0.1**2 * 100 / 2.1))
+
+    def test_lower_tail_known_value(self):
+        assert chernoff_lower_tail(100, 0.1) == pytest.approx(math.exp(-0.1**2 * 100 / 2))
+
+    @given(st.floats(1, 1e6), st.floats(0, 1))
+    def test_tails_are_probabilities(self, mean, delta):
+        assert 0 <= chernoff_upper_tail(mean, delta) <= 1
+        assert 0 <= chernoff_lower_tail(mean, delta) <= 1
+
+    def test_tails_shrink_with_mean(self):
+        assert chernoff_upper_tail(1000, 0.1) < chernoff_upper_tail(100, 0.1)
+        assert chernoff_lower_tail(1000, 0.1) < chernoff_lower_tail(100, 0.1)
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(10, -0.1)
+        with pytest.raises(ValueError):
+            chernoff_lower_tail(10, 1.5)
+
+    def test_degenerate_mean(self):
+        assert chernoff_upper_tail(0, 0.5) == 1.0
+
+
+class TestCommitteePropertyBounds:
+    def test_all_four_present(self):
+        params = ProtocolParams(n=10**6, f=10**5, lam=8 * math.log(10**6), d=0.05)
+        bounds = committee_property_bounds(params)
+        assert set(bounds) == {"S1", "S2", "S3", "S4"}
+
+    def test_vanish_for_large_n(self):
+        # The whp convergence is real but glacial: the exponents scale as
+        # const * d^2 with d ~ 0.05, so even n = 10^9 leaves S1 at ~0.8.
+        # Assert monotone decay plus near-zero at astronomically large n.
+        small = committee_property_bounds(ProtocolParams.from_paper(10**4))
+        mid = committee_property_bounds(ProtocolParams.from_paper(10**9))
+        huge = committee_property_bounds(ProtocolParams.from_paper(10**200))
+        for key in ("S1", "S2", "S3", "S4"):
+            assert huge[key] <= mid[key] <= small[key] + 1e-9, key
+            assert huge[key] < 0.1, key
+
+    def test_s4_zero_without_byzantine(self):
+        params = ProtocolParams(n=1000, f=0, lam=60.0, d=0.05)
+        assert committee_property_bounds(params)["S4"] == 0.0
+
+    def test_requires_committee_params(self):
+        with pytest.raises(ValueError):
+            committee_property_bounds(ProtocolParams(n=10, f=1))
+
+    def test_bounds_shrink_with_lambda(self):
+        small = ProtocolParams(n=10**6, f=10**5, lam=50.0, d=0.05)
+        large = ProtocolParams(n=10**6, f=10**5, lam=500.0, d=0.05)
+        b_small = committee_property_bounds(small)
+        b_large = committee_property_bounds(large)
+        for key in ("S1", "S2"):
+            assert b_large[key] < b_small[key]

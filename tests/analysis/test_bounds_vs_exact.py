@@ -1,0 +1,85 @@
+"""Cross-check the paper's Chernoff bounds against exact binomial tails.
+
+Claim 1's proofs use Chernoff inequalities (3) and (4); these tests verify
+(with scipy's exact binomial CDF) that the bounds really do upper-bound
+the true tail probabilities for the committee-size distributions the
+protocols induce -- i.e. the Appendix A algebra is applied on the right
+side of the inequality.
+"""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats
+
+from repro.analysis.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    committee_property_bounds,
+)
+from repro.core.params import ProtocolParams
+
+
+@pytest.mark.parametrize("n,p", [(100, 0.3), (1000, 0.05), (400, 0.15)])
+@pytest.mark.parametrize("delta", [0.05, 0.1, 0.3, 0.7])
+class TestChernoffDominatesExactTail:
+    def test_upper_tail(self, n, p, delta):
+        mean = n * p
+        exact = 1 - stats.binom.cdf(int((1 + delta) * mean) - 1, n, p)
+        assert chernoff_upper_tail(mean, delta) >= exact - 1e-12
+
+    def test_lower_tail(self, n, p, delta):
+        if delta > 1:
+            pytest.skip("lower tail defined for delta <= 1")
+        mean = n * p
+        exact = stats.binom.cdf(int((1 - delta) * mean), n, p)
+        assert chernoff_lower_tail(mean, delta) >= exact - 1e-12
+
+
+class TestCommitteeBoundsDominateExact:
+    def test_s1_s4_bounds_vs_exact_binomials(self):
+        params = ProtocolParams(n=2000, f=200, lam=80.0, d=0.05)
+        bounds = committee_property_bounds(params)
+        n, f = params.n, params.f
+        p = params.sample_probability
+        lam, d = params.lam, params.d
+        W = params.committee_quorum
+        B = params.committee_byzantine_bound
+
+        exact_s1 = 1 - stats.binom.cdf(int((1 + d) * lam), n, p)
+        exact_s2 = stats.binom.cdf(int((1 - d) * lam), n, p)
+        exact_s3 = stats.binom.cdf(W - 1, n - f, p)
+        exact_s4 = 1 - stats.binom.cdf(B, f, p)
+
+        assert bounds["S1"] >= exact_s1 - 1e-9
+        assert bounds["S2"] >= exact_s2 - 1e-9
+        assert bounds["S3"] >= exact_s3 - 1e-9
+        assert bounds["S4"] >= exact_s4 - 1e-9
+
+    def test_exact_s3_tail_decays_with_n_but_slowly(self):
+        """The honest asymptotics: with λ = 8 ln n the exact S3 tail is
+        n^{-Θ(d²)} -- monotonically shrinking but still ~0.2 at n = 10^6
+        (which is why simulation_scale inflates λ).  Pin both facts."""
+        tails = []
+        for n in (10**4, 10**6, 10**9):
+            params = ProtocolParams.from_paper(n)
+            tails.append(
+                stats.binom.cdf(
+                    params.committee_quorum - 1,
+                    params.n - params.f,
+                    params.sample_probability,
+                )
+            )
+        assert tails[0] > tails[1] > tails[2]
+        assert tails[1] > 0.05  # glacial convergence, honestly reported
+
+    def test_exact_tails_vanish_with_inflated_lambda(self):
+        """With λ inflated to 2000 (what simulation_scale does in spirit),
+        the exact S3/S4 tails are negligible even at moderate n -- the
+        protocol's whp behaviour is a λ story, not an n story."""
+        params = ProtocolParams(n=100_000, f=10_000, lam=2000.0, d=0.05)
+        p = params.sample_probability
+        s3 = stats.binom.cdf(params.committee_quorum - 1, params.n - params.f, p)
+        s4 = 1 - stats.binom.cdf(params.committee_byzantine_bound, params.f, p)
+        assert s3 < 1e-4
+        assert s4 < 1e-6

@@ -1,0 +1,66 @@
+"""Wilson intervals and Monte-Carlo estimation helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import BernoulliEstimate, estimate_probability, wilson_interval
+
+
+class TestWilson:
+    def test_symmetric_at_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low == pytest.approx(1 - high, abs=1e-9)
+        assert low < 0.5 < high
+
+    def test_handles_extremes(self):
+        low0, high0 = wilson_interval(0, 20)
+        assert low0 == 0.0
+        assert high0 > 0.0
+        low1, high1 = wilson_interval(20, 20)
+        assert high1 == 1.0
+        assert low1 < 1.0
+
+    def test_narrows_with_samples(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_known_value(self):
+        # Classic worked example: 45/100 at z = 1.96.
+        low, high = wilson_interval(45, 100)
+        assert low == pytest.approx(0.3561, abs=1e-3)
+        assert high == pytest.approx(0.5476, abs=1e-3)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    def test_interval_always_valid(self, successes, trials):
+        successes = min(successes, trials)
+        low, high = wilson_interval(successes, trials)
+        assert 0 <= low <= successes / trials <= high <= 1
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestBernoulliEstimate:
+    def test_mean_and_str(self):
+        estimate = BernoulliEstimate(successes=30, trials=40)
+        assert estimate.mean == 0.75
+        assert "0.750" in str(estimate)
+        assert estimate.low < 0.75 < estimate.high
+
+
+class TestEstimateProbability:
+    def test_deterministic_trial(self):
+        estimate = estimate_probability(lambda seed: seed % 2 == 0, range(100))
+        assert estimate.mean == 0.5
+        assert estimate.trials == 100
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_probability(lambda seed: True, [])

@@ -1,0 +1,62 @@
+"""Every baseline under a healing network partition.
+
+Asynchronous protocols must ride out any finite partition; the scheduler
+holds the cross-cut messages until `heal_after` intra-side deliveries,
+then the run must still decide safely.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.experiments.protocols import PROTOCOLS, make_runner
+from repro.sim.adversary import Adversary, PartitionScheduler, StaticCorruption
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N = 16
+
+
+@pytest.mark.parametrize("name", [p for p in PROTOCOLS if p != "benor"])
+def test_partition_then_heal_decides(name):
+    # (Ben-Or is excluded only for runtime: its local coin can need many
+    # rounds, and a partition makes the expected count worse; its
+    # partition behaviour is covered implicitly by the quorum math tests.)
+    factory, params, f = make_runner(name, N, seed=11)
+    adversary = Adversary(
+        scheduler=PartitionScheduler(
+            set(range(N // 2)), heal_after=800, rng=random.Random(11)
+        ),
+        corruption=StaticCorruption(set(range(f))),
+    )
+    result = run_protocol(
+        N, f, factory, adversary=adversary, params=params,
+        stop_condition=stop_when_all_decided, seed=11,
+        max_deliveries=4_000_000,
+    )
+    assert result.live, name
+    assert result.all_correct_decided, name
+    assert result.agreement, name
+
+
+def test_partition_longer_than_run_just_stalls_not_breaks():
+    """A partition that effectively never heals within the cap: the run
+    must stall cleanly (no decisions on the minority side conflicting)."""
+    factory, params, f = make_runner("mmr", N, seed=12)
+    adversary = Adversary(
+        scheduler=PartitionScheduler(
+            set(range(3)),  # minority smaller than any quorum
+            heal_after=10**9,
+            rng=random.Random(12),
+        ),
+        corruption=StaticCorruption(set(range(f))),
+    )
+    result = run_protocol(
+        N, f, factory, adversary=adversary, params=params,
+        stop_condition=stop_when_all_decided, seed=12,
+        max_deliveries=300_000,
+    )
+    # The majority side contains a full quorum, so it can decide; either
+    # way no disagreement is possible.
+    assert result.agreement

@@ -1,0 +1,62 @@
+"""Ben-Or BA: validity, agreement, termination at n > 5f."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.benor import benor_agreement
+from repro.core.params import ProtocolParams
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 21, 3
+CORRUPT = {0, 1, 2}
+PARAMS = ProtocolParams(n=N, f=F)
+
+
+def run_benor(value_fn, seed, **kwargs):
+    return run_protocol(
+        N, F, lambda ctx: benor_agreement(ctx, value_fn(ctx)),
+        corrupt=CORRUPT, params=PARAMS,
+        stop_condition=stop_when_all_decided, seed=seed, **kwargs,
+    )
+
+
+class TestValidity:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_decides_in_one_round(self, value):
+        result = run_benor(lambda ctx: value, seed=value)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.decided_values == {value}
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_split_inputs_agree(self, seed):
+        result = run_benor(lambda ctx: ctx.pid % 2, seed=seed)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestStructure:
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            run_benor(lambda ctx: "x", seed=0)
+
+    def test_word_complexity_quadratic_per_round(self):
+        result = run_benor(lambda ctx: 1, seed=9)
+        # Unanimous input: one round = 2 phases x n broadcasts x n words...
+        # the decided processes keep going until the stop condition fires,
+        # so allow a small number of rounds.
+        per_round = 2 * (N - F) * N
+        assert result.words <= 4 * per_round
+
+    def test_max_rounds_bounds_run(self):
+        result = run_protocol(
+            N, F,
+            lambda ctx: benor_agreement(ctx, ctx.pid % 2, max_rounds=2),
+            corrupt=CORRUPT, params=PARAMS, seed=10,
+        )
+        assert result.live
+        assert len(result.returns) == N - F

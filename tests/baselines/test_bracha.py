@@ -1,0 +1,118 @@
+"""Bracha RBC and BA: optimal resilience n > 3f with a local coin."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.bracha import (
+    RBCSendMsg,
+    bracha_agreement,
+    reliable_broadcast_all,
+)
+from repro.core.params import ProtocolParams
+from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.byzantine import ScriptedBehavior
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 13, 2
+CORRUPT = {0, 1}
+PARAMS = ProtocolParams(n=N, f=F)
+
+
+class TestReliableBroadcast:
+    def test_all_correct_values_delivered(self):
+        result = run_protocol(
+            N, F,
+            lambda ctx: reliable_broadcast_all(
+                ctx, ("rbc",), ctx.pid % 2, quorum=N - F
+            ),
+            corrupt=CORRUPT, params=PARAMS, seed=1,
+        )
+        assert result.live
+        for delivered in result.returns.values():
+            assert len(delivered) >= N - F
+            for origin, value in delivered.items():
+                if origin not in CORRUPT:
+                    assert value == origin % 2
+
+    def test_equivocating_originator_resolved_consistently(self):
+        """A Byzantine originator SENDs 0 to half the processes and 1 to
+        the rest; RBC must deliver at most one of them, the same
+        everywhere."""
+        instance = ("rbc-equiv",)
+
+        def equivocate(ctx):
+            for dest in range(ctx.n):
+                value = 0 if dest < ctx.n // 2 else 1
+                ctx.send(dest, RBCSendMsg(instance, value=value))
+
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(2)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=lambda pid: ScriptedBehavior(on_start=equivocate),
+        )
+        result = run_protocol(
+            N, F,
+            lambda ctx: reliable_broadcast_all(ctx, instance, 1, quorum=N - F),
+            adversary=adversary, params=PARAMS, seed=2,
+        )
+        assert result.live
+        byz_values = set()
+        for delivered in result.returns.values():
+            for origin in CORRUPT:
+                if origin in delivered:
+                    byz_values.add(delivered[origin])
+        assert len(byz_values) <= 1
+
+    def test_silent_originators_do_not_block(self):
+        result = run_protocol(
+            N, F,
+            lambda ctx: reliable_broadcast_all(ctx, ("rbc-s",), 1, quorum=N - F),
+            corrupt=CORRUPT, params=PARAMS, seed=3,
+        )
+        assert result.live
+
+
+class TestBrachaAgreement:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_validity(self, value):
+        result = run_protocol(
+            N, F, lambda ctx: bracha_agreement(ctx, value),
+            corrupt=CORRUPT, params=PARAMS,
+            stop_condition=stop_when_all_decided, seed=value,
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.decided_values == {value}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_split_inputs(self, seed):
+        result = run_protocol(
+            N, F, lambda ctx: bracha_agreement(ctx, ctx.pid % 2),
+            corrupt=CORRUPT, params=PARAMS,
+            stop_condition=stop_when_all_decided, seed=seed,
+            max_deliveries=4_000_000,
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            run_protocol(
+                N, F, lambda ctx: bracha_agreement(ctx, 7),
+                corrupt=CORRUPT, params=PARAMS, seed=0,
+            )
+
+    def test_optimal_resilience_holds_at_third(self):
+        # n = 10, f = 3 (n > 3f exactly): still safe and live.
+        n, f = 10, 3
+        result = run_protocol(
+            n, f, lambda ctx: bracha_agreement(ctx, 1),
+            corrupt={0, 1, 2}, params=ProtocolParams(n=n, f=f),
+            stop_condition=stop_when_all_decided, seed=4,
+        )
+        assert result.live
+        assert result.decided_values == {1}

@@ -1,0 +1,93 @@
+"""Cachin-style BA with the CKS threshold coin."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.cachin import cachin_agreement, make_threshold_coin
+from repro.core.params import ProtocolParams
+from repro.crypto.threshold import ThresholdCoinDealer
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 13, 3  # optimal resilience: n > 3f
+CORRUPT = {0, 1, 2}
+PARAMS = ProtocolParams(n=N, f=F)
+
+
+@pytest.fixture(scope="module")
+def dealer():
+    return ThresholdCoinDealer(N, F + 1, random.Random(91))
+
+
+def run_cachin(value_fn, dealer, seed):
+    return run_protocol(
+        N, F, lambda ctx: cachin_agreement(ctx, value_fn(ctx), dealer),
+        corrupt=CORRUPT, params=PARAMS,
+        stop_condition=stop_when_all_decided, seed=seed,
+    )
+
+
+class TestValidity:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous(self, dealer, value):
+        result = run_cachin(lambda ctx: value, dealer, seed=value)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.decided_values == {value}
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_split_inputs(self, dealer, seed):
+        result = run_cachin(lambda ctx: ctx.pid % 2, dealer, seed=seed)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestThresholdCoinProtocol:
+    def test_common_coin_is_common(self, dealer):
+        coin = make_threshold_coin(dealer)
+
+        def one_flip(ctx):
+            return (yield from coin(ctx, ("mmr", 0)))
+
+        result = run_protocol(
+            N, F, one_flip, corrupt=CORRUPT, params=PARAMS, seed=3,
+        )
+        assert result.live
+        assert len(result.returned_values) == 1
+        assert result.returned_values <= {0, 1}
+
+    def test_rounds_give_varied_bits(self, dealer):
+        coin = make_threshold_coin(dealer)
+
+        def flips(ctx):
+            bits = []
+            for round_id in range(8):
+                bit = yield from coin(ctx, round_id)
+                bits.append(bit)
+            return tuple(bits)
+
+        result = run_protocol(
+            N, F, flips, corrupt=CORRUPT, params=PARAMS, seed=4,
+        )
+        assert result.live
+        sequences = result.returned_values
+        assert len(sequences) == 1  # everyone saw the same sequence
+        sequence = next(iter(sequences))
+        assert set(sequence) == {0, 1}
+
+    def test_word_complexity_quadratic(self, dealer):
+        # One coin flip: each correct process broadcasts one 1-word share.
+        coin = make_threshold_coin(dealer)
+
+        def one_flip(ctx):
+            return (yield from coin(ctx, 0))
+
+        result = run_protocol(
+            N, F, one_flip, corrupt=CORRUPT, params=PARAMS, seed=5,
+        )
+        assert result.words == (N - F) * N

@@ -1,0 +1,146 @@
+"""MMR BA with each pluggable coin, plus BV-broadcast internals."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.mmr import (
+    BValMsg,
+    local_coin,
+    make_shared_coin,
+    mmr_agreement,
+)
+from repro.core.params import ProtocolParams
+from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.byzantine import ScriptedBehavior
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 16, 3
+CORRUPT = {0, 1, 2}
+PARAMS = ProtocolParams(n=N, f=F)
+
+
+def run_mmr(value_fn, coin, seed, **kwargs):
+    return run_protocol(
+        N, F, lambda ctx: mmr_agreement(ctx, value_fn(ctx), coin),
+        corrupt=CORRUPT, params=PARAMS,
+        stop_condition=stop_when_all_decided, seed=seed, **kwargs,
+    )
+
+
+class TestWithLocalCoin:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_validity(self, value):
+        result = run_mmr(lambda ctx: value, local_coin, seed=value)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.decided_values == {value}
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_agreement_split_inputs(self, seed):
+        result = run_mmr(lambda ctx: ctx.pid % 2, local_coin, seed=seed)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestWithSharedCoin:
+    """The paper's Section 4 closing remark: MMR + Algorithm 1."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_agreement_split_inputs(self, seed):
+        result = run_mmr(lambda ctx: ctx.pid % 2, make_shared_coin(), seed=seed)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+    def test_word_complexity_stays_quadratic(self):
+        result = run_mmr(lambda ctx: ctx.pid % 2, make_shared_coin(), seed=7)
+        # O(n^2) per round with a small constant; allow ~8 rounds of slack.
+        assert result.words <= 8 * 8 * N * N
+
+
+class TestWithWhpCoin:
+    """The hybrid instantiation: all-to-all votes, committee-based coin."""
+
+    def test_agreement_with_committee_coin(self):
+        from repro.baselines.mmr import make_whp_coin
+        from repro.core.params import ProtocolParams
+
+        n, f = 60, 4
+        params = ProtocolParams.simulation_scale(n=n, f=f, lam=45)
+        result = run_protocol(
+            n, f,
+            lambda ctx: mmr_agreement(ctx, ctx.pid % 2, make_whp_coin(params), params),
+            corrupt={0, 1, 2, 3}, params=params,
+            stop_condition=stop_when_all_decided, seed=11,
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestByzantineBVBroadcast:
+    def test_bval_spam_of_both_values_is_safe(self):
+        """Byzantine processes BVAL both values; bin_values may grow but
+        safety (agreement) must hold."""
+
+        def spam(ctx):
+            for round_id in range(3):
+                instance = ("mmr", round_id)
+                ctx.broadcast(BValMsg(instance, value=0))
+                ctx.broadcast(BValMsg(instance, value=1))
+
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(8)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=lambda pid: ScriptedBehavior(on_start=spam),
+        )
+        result = run_protocol(
+            N, F, lambda ctx: mmr_agreement(ctx, ctx.pid % 2, local_coin),
+            adversary=adversary, params=PARAMS,
+            stop_condition=stop_when_all_decided, seed=8,
+        )
+        assert result.live
+        assert result.agreement
+
+    def test_garbage_values_ignored(self):
+        def garbage(ctx):
+            ctx.broadcast(BValMsg(("mmr", 0), value=99))
+
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(9)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=lambda pid: ScriptedBehavior(on_start=garbage),
+        )
+        result = run_protocol(
+            N, F, lambda ctx: mmr_agreement(ctx, 1, local_coin),
+            adversary=adversary, params=PARAMS,
+            stop_condition=stop_when_all_decided, seed=9,
+        )
+        assert result.live
+        assert result.decided_values == {1}
+
+
+class TestRoundStructure:
+    def test_max_rounds_bounds_run(self):
+        result = run_protocol(
+            N, F,
+            lambda ctx: mmr_agreement(ctx, ctx.pid % 2, local_coin, max_rounds=2),
+            corrupt=CORRUPT, params=PARAMS, seed=10,
+        )
+        assert result.live
+        assert len(result.returns) == N - F
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            run_mmr(lambda ctx: None, local_coin, seed=0)
+
+    def test_laggards_terminate_after_leaders_decide(self):
+        # The background BV relays keep helping laggards; every correct
+        # process must decide, not just a quorum.
+        for seed in range(3):
+            result = run_mmr(lambda ctx: ctx.pid % 2, local_coin, seed=40 + seed)
+            assert result.all_correct_decided

@@ -1,0 +1,87 @@
+"""Rabin's BA with the pre-dealt lottery coin."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.rabin import make_lottery_coin, rabin_agreement
+from repro.core.params import ProtocolParams
+from repro.crypto.threshold import RabinLotteryDealer
+from repro.sim.process import Wait
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 22, 2  # n > 10f
+CORRUPT = {0, 1}
+PARAMS = ProtocolParams(n=N, f=F)
+
+
+@pytest.fixture(scope="module")
+def dealer():
+    return RabinLotteryDealer(N, F + 1, random.Random(81))
+
+
+def run_rabin(value_fn, dealer, seed, **kwargs):
+    return run_protocol(
+        N, F, lambda ctx: rabin_agreement(ctx, value_fn(ctx), dealer),
+        corrupt=CORRUPT, params=PARAMS,
+        stop_condition=stop_when_all_decided, seed=seed, **kwargs,
+    )
+
+
+class TestValidity:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous(self, dealer, value):
+        result = run_rabin(lambda ctx: value, dealer, seed=value)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.decided_values == {value}
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_split_inputs(self, dealer, seed):
+        result = run_rabin(lambda ctx: ctx.pid % 2, dealer, seed=seed)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestLotteryCoinProtocol:
+    def test_all_processes_toss_the_dealers_bit(self, dealer):
+        coin = make_lottery_coin(dealer)
+
+        def coin_once(ctx):
+            return (yield from coin(ctx, 0))
+
+        result = run_protocol(
+            N, F, coin_once, corrupt=CORRUPT, params=PARAMS, seed=5,
+        )
+        assert result.live
+        expected = dealer.combine(
+            {pid: dealer.coin_share(pid, 0) for pid in range(F + 1)}, 0
+        )
+        assert result.returned_values == {expected}
+
+    def test_coin_is_common_despite_byzantine_shares(self, dealer):
+        # Byzantine share withholding cannot change the coin: any f+1
+        # valid shares reconstruct the same bit.  (Corrupted processes
+        # are silent here, so correct ones rely on each other's shares.)
+        coin = make_lottery_coin(dealer)
+
+        def coin_round_7(ctx):
+            return (yield from coin(ctx, 7))
+
+        results = set()
+        for seed in range(3):
+            result = run_protocol(
+                N, F, coin_round_7, corrupt=CORRUPT, params=PARAMS, seed=seed,
+            )
+            assert result.live
+            results |= result.returned_values
+        assert len(results) == 1
+
+    def test_rejects_non_binary(self, dealer):
+        with pytest.raises(ValueError):
+            run_rabin(lambda ctx: -1, dealer, seed=0)

@@ -1,0 +1,80 @@
+"""Each baseline at its exact Table 1 resilience boundary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    benor_agreement,
+    bracha_agreement,
+    cachin_agreement,
+    local_coin,
+    mmr_agreement,
+    rabin_agreement,
+)
+from repro.core.params import ProtocolParams
+from repro.crypto.threshold import RabinLotteryDealer, ThresholdCoinDealer
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+
+def run_at_bound(n, f, factory_builder, seeds=range(2)):
+    params = ProtocolParams(n=n, f=f)
+    for seed in seeds:
+        result = run_protocol(
+            n, f, factory_builder(n, f), corrupt=set(range(f)), params=params,
+            stop_condition=stop_when_all_decided, seed=seed,
+            max_deliveries=4_000_000,
+        )
+        assert result.live, seed
+        assert result.all_correct_decided, seed
+        assert result.agreement, seed
+
+
+class TestExactBounds:
+    def test_benor_at_n_5f_plus_1(self):
+        # n = 11, f = 2: n > 5f exactly.
+        run_at_bound(11, 2, lambda n, f: (
+            lambda ctx: benor_agreement(ctx, ctx.pid % 2)
+        ))
+
+    def test_bracha_at_n_3f_plus_1(self):
+        run_at_bound(10, 3, lambda n, f: (
+            lambda ctx: bracha_agreement(ctx, ctx.pid % 2)
+        ))
+
+    def test_mmr_at_n_3f_plus_1(self):
+        run_at_bound(10, 3, lambda n, f: (
+            lambda ctx: mmr_agreement(ctx, ctx.pid % 2, local_coin)
+        ))
+
+    def test_cachin_at_n_3f_plus_1(self):
+        dealer = ThresholdCoinDealer(10, 4, random.Random(1))
+        run_at_bound(10, 3, lambda n, f: (
+            lambda ctx: cachin_agreement(ctx, ctx.pid % 2, dealer)
+        ))
+
+    def test_rabin_at_n_10f_plus_1(self):
+        dealer = RabinLotteryDealer(11, 2, random.Random(2))
+        run_at_bound(11, 1, lambda n, f: (
+            lambda ctx: rabin_agreement(ctx, ctx.pid % 2, dealer)
+        ))
+
+
+class TestBeyondBoundIsNotGuaranteed:
+    def test_mmr_with_too_many_faults_can_stall(self):
+        """n = 9, f = 3 violates n > 3f: 2f+1 = 7 > n - f = 6 correct
+        senders can never materialise, so BV-broadcast cannot deliver and
+        the run deadlocks (rather than deciding wrongly)."""
+        n, f = 9, 3
+        params = ProtocolParams(n=n, f=f)
+        result = run_protocol(
+            n, f, lambda ctx: mmr_agreement(ctx, ctx.pid % 2, local_coin),
+            corrupt=set(range(f)), params=params,
+            stop_condition=stop_when_all_decided, seed=3,
+            max_deliveries=300_000,
+        )
+        assert not result.all_correct_decided
+        # Crucially: stalling, not disagreeing.
+        assert result.agreement

@@ -1,0 +1,77 @@
+"""agreement_round's return contract (shared by Algorithm 4, the hybrid
+and the multi-valued reduction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.agreement import BOT, agreement_round, byzantine_agreement
+from repro.core.params import ProtocolParams
+from repro.sim.process import Protocol
+from repro.sim.runner import run_protocol
+
+N, F = 60, 4
+CORRUPT = {0, 1, 2, 3}
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ProtocolParams.simulation_scale(n=N, f=F, lam=45)
+
+
+def one_round(value_fn, params):
+    def protocol(ctx) -> Protocol:
+        est, decided = yield from agreement_round(
+            ctx, "unit", 0, value_fn(ctx), params
+        )
+        return (est, decided)
+
+    return protocol
+
+
+class TestSingleRound:
+    def test_unanimous_round_decides_immediately(self, params):
+        result = run_protocol(
+            N, F, one_round(lambda ctx: 1, params), corrupt=CORRUPT,
+            params=params, seed=1,
+        )
+        assert result.live
+        for est, decided in result.returned_values:
+            assert est == 1
+            assert decided == 1
+
+    def test_split_round_returns_consistent_estimates(self, params):
+        result = run_protocol(
+            N, F, one_round(lambda ctx: ctx.pid % 2, params), corrupt=CORRUPT,
+            params=params, seed=2,
+        )
+        assert result.live
+        decided_values = {d for _, d in result.returned_values if d is not None}
+        est_values = {e for e, _ in result.returned_values}
+        # Graded agreement at round granularity: at most one decided
+        # value, and if someone decided v, every estimate is v.
+        assert len(decided_values) <= 1
+        if decided_values:
+            assert est_values == decided_values
+        assert BOT not in est_values  # estimates are always binary
+
+    def test_round_never_calls_ctx_decide(self, params):
+        result = run_protocol(
+            N, F, one_round(lambda ctx: 1, params), corrupt=CORRUPT,
+            params=params, seed=3,
+        )
+        # Decisions belong to the protocol layer above agreement_round.
+        assert result.decisions == {}
+
+
+class TestLayering:
+    def test_byzantine_agreement_decides_via_round_result(self, params):
+        from repro.sim.runner import stop_when_all_decided
+
+        result = run_protocol(
+            N, F, lambda ctx: byzantine_agreement(ctx, 1), corrupt=CORRUPT,
+            params=params, stop_condition=stop_when_all_decided, seed=4,
+        )
+        assert result.decided_values == {1}
+        rounds = {n["decision_round"] for n in result.notes.values() if "decision_round" in n}
+        assert rounds == {0}  # unanimity decides in the very first round

@@ -1,0 +1,181 @@
+"""Algorithm 3, the approver: validity, graded agreement, termination,
+and committee-forgery resistance."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.approver import approve
+from repro.core.committees import sample, sample_committee
+from repro.core.messages import InitMsg, OkMsg, echo_signing_bytes
+from repro.core.params import ProtocolParams
+from repro.crypto.pki import PKI
+from repro.sim.adversary import (
+    Adversary,
+    RandomScheduler,
+    StaticCorruption,
+    TargetedDelayScheduler,
+)
+from repro.sim.byzantine import ScriptedBehavior
+from repro.sim.runner import run_protocol
+
+N, F = 60, 4
+CORRUPT = {0, 1, 2, 3}
+INSTANCE = ("approver-test",)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ProtocolParams.simulation_scale(n=N, f=F, lam=45)
+
+
+def approver(value_fn):
+    return lambda ctx: approve(ctx, INSTANCE, value_fn(ctx))
+
+
+class TestValidity:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_input_returns_singleton(self, params, value):
+        result = run_protocol(
+            N, F, approver(lambda ctx: value), corrupt=CORRUPT, params=params, seed=value,
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({value})}
+
+    def test_bot_input_flows_through(self, params):
+        result = run_protocol(
+            N, F, approver(lambda ctx: None), corrupt=CORRUPT, params=params, seed=2,
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({None})}
+
+
+class TestGradedAgreementAndTermination:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_inputs_terminate_consistently(self, params, seed):
+        result = run_protocol(
+            N, F, approver(lambda ctx: ctx.pid % 2), corrupt=CORRUPT,
+            params=params, seed=seed,
+        )
+        assert result.live
+        returned = list(result.returned_values)
+        # Non-empty sets, subsets of {0, 1}.
+        assert all(rv and set(rv) <= {0, 1} for rv in returned)
+        # Graded agreement: no two distinct singletons.
+        singletons = {next(iter(rv)) for rv in returned if len(rv) == 1}
+        assert len(singletons) <= 1
+
+    def test_under_targeted_delay(self, params):
+        adversary = Adversary(
+            scheduler=TargetedDelayScheduler(set(range(8)), random.Random(7)),
+            corruption=StaticCorruption(CORRUPT),
+        )
+        result = run_protocol(
+            N, F, approver(lambda ctx: 1), adversary=adversary, params=params, seed=7,
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({1})}
+
+
+class TestByzantineResistance:
+    def _run(self, behavior_factory, pki, params, seed):
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(seed)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=behavior_factory,
+        )
+        return run_protocol(
+            N, F, approver(lambda ctx: 1), adversary=adversary, pki=pki,
+            params=params, seed=seed,
+        )
+
+    def test_init_equivocator_cannot_break_validity(self, params):
+        """Byzantine init members broadcast BOTH values; with f=4 corrupted
+        they cannot reach B+1 init senders for the wrong value, so all
+        correct processes still return {1}."""
+        pki = PKI.create(N, rng=random.Random(4000))
+        assert params.committee_byzantine_bound >= F  # attack cannot echo 0
+
+        def equivocate(ctx):
+            sampled, proof = sample(ctx, INSTANCE, "init", params)
+            if sampled:
+                ctx.broadcast(InitMsg(INSTANCE, value=0, membership=proof))
+                ctx.broadcast(InitMsg(INSTANCE, value=1, membership=proof))
+
+        result = self._run(
+            lambda pid: ScriptedBehavior(on_start=equivocate), pki, params, seed=11
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({1})}
+
+    def test_unjustified_ok_rejected(self, params):
+        """A Byzantine ok-committee member broadcasts OK(0) with no echo
+        justification; correct processes must ignore it."""
+        pki = PKI.create(N, rng=random.Random(4100))
+
+        def fake_ok(ctx):
+            sampled, proof = sample(ctx, INSTANCE, "ok", params)
+            if sampled:
+                ctx.broadcast(
+                    OkMsg(INSTANCE, value=0, membership=proof, justification=())
+                )
+
+        result = self._run(
+            lambda pid: ScriptedBehavior(on_start=fake_ok), pki, params, seed=12
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({1})}
+
+    def test_ok_with_forged_echo_signatures_rejected(self, params):
+        """Justification entries must carry valid signatures from valid
+        echo-committee members."""
+        pki = PKI.create(N, rng=random.Random(4200))
+
+        def forged_ok(ctx):
+            sampled, proof = sample(ctx, INSTANCE, "ok", params)
+            if not sampled:
+                return
+            w = params.committee_quorum
+            junk = tuple((i, proof, b"\x00" * 32) for i in range(w))
+            ctx.broadcast(
+                OkMsg(INSTANCE, value=0, membership=proof, justification=junk)
+            )
+
+        result = self._run(
+            lambda pid: ScriptedBehavior(on_start=forged_ok), pki, params, seed=13
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({1})}
+
+    def test_double_ok_counted_once(self, params):
+        """A Byzantine ok member that sends several (valid-looking but
+        unjustified) oks is counted at most once per sender anyway."""
+        pki = PKI.create(N, rng=random.Random(4300))
+
+        def spam(ctx):
+            sampled, proof = sample(ctx, INSTANCE, "ok", params)
+            if sampled:
+                for _ in range(5):
+                    ctx.broadcast(
+                        OkMsg(INSTANCE, value=0, membership=proof, justification=())
+                    )
+
+        result = self._run(
+            lambda pid: ScriptedBehavior(on_start=spam), pki, params, seed=14
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({1})}
+
+
+class TestEchoCommitteesArePerValue:
+    def test_value_specific_committees_differ(self, params):
+        pki = PKI.create(N, rng=random.Random(4400))
+        echo0 = sample_committee(pki, INSTANCE, ("echo", 0), params)
+        echo1 = sample_committee(pki, INSTANCE, ("echo", 1), params)
+        assert echo0 != echo1
+
+    def test_signing_bytes_bind_instance_and_value(self):
+        assert echo_signing_bytes(INSTANCE, 0) != echo_signing_bytes(INSTANCE, 1)
+        assert echo_signing_bytes(("a",), 0) != echo_signing_bytes(("b",), 0)

@@ -1,0 +1,58 @@
+"""The approver with ⊥ in play (Algorithm 4's second invocation pattern:
+correct inputs drawn from {v, ⊥})."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.approver import approve
+from repro.core.params import ProtocolParams
+from repro.sim.runner import run_protocol
+
+N, F = 60, 4
+CORRUPT = {0, 1, 2, 3}
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ProtocolParams.simulation_scale(n=N, f=F, lam=45)
+
+
+def run_approve(value_fn, params, seed):
+    return run_protocol(
+        N, F, lambda ctx: approve(ctx, ("bot-test",), value_fn(ctx), params),
+        corrupt=CORRUPT, params=params, seed=seed,
+    )
+
+
+class TestBotHandling:
+    def test_all_bot_returns_bot_singleton(self, params):
+        result = run_approve(lambda ctx: None, params, seed=1)
+        assert result.live
+        assert result.returned_values == {frozenset({None})}
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_mixed_v_and_bot(self, params, seed):
+        """Algorithm 4's line-11 pattern: some propose v, some ⊥.
+        Possible returns are {v}, {⊥} and {v, ⊥} -- and graded agreement
+        forbids both singletons appearing."""
+        result = run_approve(
+            lambda ctx: 1 if ctx.pid % 3 else None, params, seed=10 + seed
+        )
+        assert result.live
+        returned = list(result.returned_values)
+        for rv in returned:
+            assert set(rv) <= {1, None}
+            assert rv  # non-empty (termination clause)
+        singletons = {next(iter(rv)) for rv in returned if len(rv) == 1}
+        assert len(singletons) <= 1
+
+    def test_bot_committee_is_distinct_from_value_committees(self, params):
+        import random
+        from repro.core.committees import sample_committee
+        from repro.crypto.pki import PKI
+
+        pki = PKI.create(N, rng=random.Random(88))
+        bot_echo = sample_committee(pki, ("bot-test",), ("echo", None), params)
+        one_echo = sample_committee(pki, ("bot-test",), ("echo", 1), params)
+        assert bot_echo != one_echo

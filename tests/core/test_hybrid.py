@@ -1,0 +1,80 @@
+"""The probability-1-termination hybrid (paper future work, DESIGN §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import hybrid_agreement
+from repro.core.params import ProtocolParams
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 60, 4
+CORRUPT = {0, 1, 2, 3}
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ProtocolParams.simulation_scale(n=N, f=F, lam=45)
+
+
+def run_hybrid(value_fn, params, seed, committee_rounds=8):
+    return run_protocol(
+        N, F,
+        lambda ctx: hybrid_agreement(
+            ctx, value_fn(ctx), committee_rounds=committee_rounds
+        ),
+        corrupt=CORRUPT, params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+    )
+
+
+class TestCommitteePhase:
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_unanimous_decides_in_committee_phase(self, params, value):
+        result = run_hybrid(lambda ctx: value, params, seed=value)
+        assert result.live
+        assert result.decided_values == {value}
+        deciders = {
+            notes.get("decided_by")
+            for pid, notes in result.notes.items()
+            if pid in result.decisions
+        }
+        assert deciders == {"committee"}
+
+    def test_split_inputs_agree(self, params):
+        result = run_hybrid(lambda ctx: ctx.pid % 2, params, seed=5)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestFallbackPhase:
+    def test_zero_committee_rounds_is_pure_fallback(self, params):
+        result = run_hybrid(lambda ctx: ctx.pid % 2, params, seed=6, committee_rounds=0)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+        deciders = {
+            notes.get("decided_by")
+            for pid, notes in result.notes.items()
+            if pid in result.decisions
+        }
+        assert deciders == {"fallback"}
+        assert all(
+            notes.get("fallback") for notes in result.notes.values() if notes
+        )
+
+    def test_fallback_preserves_unanimity(self, params):
+        result = run_hybrid(lambda ctx: 1, params, seed=7, committee_rounds=0)
+        assert result.decided_values == {1}
+
+
+class TestContract:
+    def test_rejects_non_binary(self, params):
+        with pytest.raises(ValueError):
+            run_hybrid(lambda ctx: 3, params, seed=0)
+
+    def test_committee_decisions_dominate_word_count(self, params):
+        """When the committee phase decides, no fallback words are paid."""
+        result = run_hybrid(lambda ctx: 1, params, seed=8)
+        assert "BValMsg" not in result.metrics.words_by_kind

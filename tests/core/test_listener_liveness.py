@@ -1,0 +1,63 @@
+"""Non-committee-members ("listeners") must still return from committee
+protocols -- they only consume broadcasts, never send."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.committees import sample_committee
+from repro.core.params import ProtocolParams
+from repro.core.whp_coin import whp_coin
+from repro.core.approver import approve
+from repro.crypto.pki import PKI
+from repro.sim.runner import run_protocol
+
+
+@pytest.fixture(scope="module")
+def thin_setup():
+    """A configuration with real non-members: lam well below n."""
+    params = ProtocolParams.simulation_scale(n=200, f=2)
+    pki = PKI.create(200, rng=random.Random(777))
+    return params, pki
+
+
+class TestWhpCoinListeners:
+    def test_pure_listeners_exist_and_return(self, thin_setup):
+        params, pki = thin_setup
+        instance = ("whp_coin", 0)
+        members = sample_committee(pki, instance, "first", params) | \
+            sample_committee(pki, instance, "second", params)
+        listeners = set(range(200)) - members - {0, 1}
+        assert listeners  # thin committees leave genuine listeners
+
+        result = run_protocol(
+            200, 2, lambda ctx: whp_coin(ctx, 0), corrupt={0, 1},
+            pki=pki, params=params, seed=3,
+        )
+        assert result.live
+        for pid in listeners:
+            assert pid in result.returns
+            assert result.returns[pid] in (0, 1)
+
+
+class TestApproverListeners:
+    def test_listeners_return_the_same_set(self, thin_setup):
+        params, pki = thin_setup
+        instance = ("listener-approve",)
+        result = run_protocol(
+            200, 2, lambda ctx: approve(ctx, instance, 1, params),
+            corrupt={0, 1}, pki=pki, params=params, seed=4,
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({1})}
+        members = (
+            sample_committee(pki, instance, "init", params)
+            | sample_committee(pki, instance, ("echo", 1), params)
+            | sample_committee(pki, instance, "ok", params)
+        )
+        listeners = set(range(200)) - members - {0, 1}
+        assert listeners
+        # Listeners sent nothing: correct messages came only from members.
+        assert result.metrics.messages_sent_correct <= len(members) * 200 * 3

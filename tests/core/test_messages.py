@@ -1,0 +1,118 @@
+"""Protocol message word accounting and coin-value validation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.committees import committee_seed, sample_committee
+from repro.core.messages import (
+    CoinValue,
+    EchoMsg,
+    FirstMsg,
+    InitMsg,
+    OkMsg,
+    SecondMsg,
+    coin_value_alpha,
+    validate_coin_value,
+)
+from repro.core.params import ProtocolParams
+from repro.crypto.pki import PKI
+from repro.crypto.vrf import VRFOutput
+
+
+@pytest.fixture(scope="module")
+def pki():
+    return PKI.create(20, rng=random.Random(70))
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ProtocolParams(n=20, f=2, lam=14.0, d=0.05)
+
+
+def make_value(pki, pid, instance, membership=None):
+    output = pki.vrf_scheme.prove(pki.vrf_private(pid), coin_value_alpha(instance))
+    return CoinValue(
+        value=output.value, origin=pid, vrf=output, origin_membership=membership
+    )
+
+
+class TestWordSizes:
+    def test_first_msg_plain(self, pki):
+        cv = make_value(pki, 0, "i")
+        assert FirstMsg("i", coin_value=cv).words() == 2
+
+    def test_first_msg_with_membership(self, pki):
+        cv = make_value(pki, 0, "i")
+        proof = VRFOutput(value=1, proof=b"p")
+        assert FirstMsg("i", coin_value=cv, membership=proof).words() == 4
+
+    def test_second_msg_counts_origin_membership(self, pki):
+        proof = VRFOutput(value=1, proof=b"p")
+        cv = make_value(pki, 0, "i", membership=proof)
+        msg = SecondMsg("i", coin_value=cv, membership=proof)
+        assert msg.words() == 6
+
+    def test_init_and_echo_sizes(self):
+        proof = VRFOutput(value=1, proof=b"p")
+        assert InitMsg("i", value=0, membership=proof).words() == 3
+        assert EchoMsg("i", value=0, membership=proof, signature=b"s").words() == 4
+
+    def test_ok_size_scales_with_justification(self):
+        proof = VRFOutput(value=1, proof=b"p")
+        justification = tuple((i, proof, b"s") for i in range(10))
+        msg = OkMsg("i", value=0, membership=proof, justification=justification)
+        assert msg.words() == 1 + 2 + 3 * 10
+
+    def test_value_property_exposed_for_scheduler(self, pki):
+        cv = make_value(pki, 3, "i")
+        assert FirstMsg("i", coin_value=cv).value == cv.value
+        assert SecondMsg("i", coin_value=cv).value == cv.value
+
+
+class TestValidateCoinValue:
+    def test_genuine_value_accepted(self, pki, params):
+        cv = make_value(pki, 1, "inst")
+        assert validate_coin_value(pki, cv, "inst", params, None)
+
+    def test_value_field_must_match_vrf(self, pki, params):
+        cv = make_value(pki, 1, "inst")
+        tampered = CoinValue(value=(cv.value ^ 1), origin=1, vrf=cv.vrf)
+        assert not validate_coin_value(pki, tampered, "inst", params, None)
+
+    def test_wrong_instance_rejected(self, pki, params):
+        cv = make_value(pki, 1, "inst")
+        assert not validate_coin_value(pki, cv, "other", params, None)
+
+    def test_wrong_origin_rejected(self, pki, params):
+        cv = make_value(pki, 1, "inst")
+        relabelled = CoinValue(value=cv.value, origin=2, vrf=cv.vrf)
+        assert not validate_coin_value(pki, relabelled, "inst", params, None)
+
+    def test_junk_vrf_rejected(self, pki, params):
+        cv = CoinValue(value=0, origin=1, vrf="garbage")
+        assert not validate_coin_value(pki, cv, "inst", params, None)
+
+    def test_committee_mode_requires_membership(self, pki, params):
+        cv = make_value(pki, 1, "inst")  # no origin_membership
+        assert not validate_coin_value(pki, cv, "inst", params, "first")
+
+    def test_committee_mode_accepts_member(self, pki, params):
+        members = sample_committee(pki, "inst", "first", params)
+        pid = next(iter(members))
+        membership = pki.vrf_scheme.prove(
+            pki.vrf_private(pid), committee_seed("inst", "first")
+        )
+        cv = make_value(pki, pid, "inst", membership=membership)
+        assert validate_coin_value(pki, cv, "inst", params, "first")
+
+    def test_committee_mode_rejects_non_member(self, pki, params):
+        members = sample_committee(pki, "inst", "first", params)
+        outsider = next(pid for pid in range(pki.n) if pid not in members)
+        membership = pki.vrf_scheme.prove(
+            pki.vrf_private(outsider), committee_seed("inst", "first")
+        )
+        cv = make_value(pki, outsider, "inst", membership=membership)
+        assert not validate_coin_value(pki, cv, "inst", params, "first")

@@ -1,0 +1,98 @@
+"""Multi-valued agreement (weak-validity reduction, extension)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.multivalued import NO_DECISION, CertMsg, multivalued_agreement
+from repro.core.params import ProtocolParams
+from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.byzantine import ScriptedBehavior
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 60, 4
+CORRUPT = {0, 1, 2, 3}
+
+
+@pytest.fixture(scope="module")
+def params():
+    # No explicit lam: let the constructor inflate it to 4-sigma margins.
+    return ProtocolParams.simulation_scale(n=N, f=F, safety_sigmas=4.0)
+
+
+def run_mv(value_fn, params, seed, **kwargs):
+    return run_protocol(
+        N, F, lambda ctx: multivalued_agreement(ctx, value_fn(ctx)),
+        params=params, stop_condition=stop_when_all_decided, seed=seed,
+        **({"corrupt": CORRUPT} if "adversary" not in kwargs else {}),
+        **kwargs,
+    )
+
+
+class TestValidity:
+    def test_unanimous_string_value_decided(self, params):
+        result = run_mv(lambda ctx: "block-42", params, seed=1)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.decided_values == {"block-42"}
+
+    def test_unanimous_tuple_value_decided(self, params):
+        result = run_mv(lambda ctx: ("tx", 7, b"payload"), params, seed=2)
+        assert result.decided_values == {("tx", 7, b"payload")}
+
+
+class TestWeakValidity:
+    def test_split_inputs_decide_proposed_or_bot(self, params):
+        proposals = {pid: f"value-{pid % 3}" for pid in range(N)}
+        result = run_mv(lambda ctx: proposals[ctx.pid], params, seed=3)
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+        decided = result.decided_values.pop()
+        assert decided == NO_DECISION or decided in set(proposals.values())
+
+    def test_near_unanimous_still_safe(self, params):
+        # One dissenting correct process: quorums may or may not be
+        # unanimous depending on scheduling; outcome must be the majority
+        # value or NO_DECISION, never the dissenting value's invention.
+        result = run_mv(
+            lambda ctx: "main" if ctx.pid != 10 else "odd-one-out",
+            params, seed=4,
+        )
+        assert result.agreement
+        decided = result.decided_values.pop()
+        assert decided in ("main", NO_DECISION)
+
+
+class TestByzantineResistance:
+    def test_forged_certificate_rejected(self, params):
+        """Byzantine processes broadcast CERT for a value nobody proposed,
+        with junk signatures: correct processes must not decide it."""
+
+        def forge(ctx):
+            junk = tuple((i, b"\x00" * 32) for i in range(params.quorum))
+            ctx.broadcast(
+                CertMsg(("mv", "cert"), value="forged", certificate=junk)
+            )
+
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(5)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=lambda pid: ScriptedBehavior(on_start=forge),
+        )
+        result = run_mv(lambda ctx: "honest", params, seed=5, adversary=adversary)
+        assert result.live
+        assert result.decided_values == {"honest"}
+
+
+class TestAgreementAcrossSeeds:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_two_value_split(self, params, seed):
+        result = run_mv(
+            lambda ctx: "left" if ctx.pid % 2 else "right", params, seed=40 + seed
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement

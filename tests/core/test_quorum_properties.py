@@ -1,0 +1,82 @@
+"""Quorum-arithmetic properties the protocol proofs lean on, checked as
+pure math over the parameter space (no simulation)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.params import ProtocolParams
+
+
+class TestFullParticipationQuorums:
+    @given(st.integers(4, 10_000))
+    def test_two_quorums_intersect_in_a_correct_process_iff_n_gt_3f(self, n):
+        # The classical fact the baselines (and the paper's n-f waits)
+        # stand on: for f < n/3, any two (n-f)-quorums share f+1 members.
+        f = (n - 1) // 3
+        params = ProtocolParams(n=n, f=f)
+        overlap = 2 * params.quorum - n
+        assert overlap >= f + 1
+
+    @given(st.integers(2, 10_000))
+    def test_quorum_reachable_despite_f_silent(self, n):
+        f = (n - 1) // 3
+        params = ProtocolParams(n=n, f=f)
+        assert params.quorum <= n - f  # n-f correct senders exist
+
+
+class TestCommitteeQuorumArithmetic:
+    """The S5/S6 intersection corollaries as deterministic arithmetic,
+    assuming the S1/S2 size band (which is what the paper does too)."""
+
+    @given(
+        lam=st.floats(10, 10_000),
+        d=st.floats(0.005, 0.33, exclude_max=True),
+    )
+    def test_s5_two_w_quorums_intersect_beyond_b(self, lam, d):
+        params = ProtocolParams(n=100_000, f=1, lam=lam, d=d)
+        W = params.committee_quorum
+        B = params.committee_byzantine_bound
+        max_committee = (1 + d) * lam
+        # |P1 ∩ P2| >= 2W - |C| must exceed B (Corollary 5.1) whenever the
+        # committee size is in band AND d > 1/lam (the paper's window).
+        if d > 1 / lam:
+            assert 2 * W - max_committee > B
+
+    @given(
+        lam=st.floats(10, 10_000),
+        d=st.floats(0.005, 0.33, exclude_max=True),
+    )
+    def test_s6_b_plus_one_holders_meet_any_w_quorum(self, lam, d):
+        params = ProtocolParams(n=100_000, f=1, lam=lam, d=d)
+        W = params.committee_quorum
+        B = params.committee_byzantine_bound
+        max_committee = (1 + d) * lam
+        if d > 1 / lam:
+            # |P2| - |C \ P1| >= W - (|C| - (B+1)) >= 1 (Corollary 5.2).
+            assert W - (max_committee - (B + 1)) > 0
+
+    @given(lam=st.floats(4, 10_000), d=st.floats(0.001, 0.33, exclude_max=True))
+    def test_w_half_exceeds_b(self, lam, d):
+        # Used by the approver's termination proof: W/2 > B, so among W
+        # correct init values of at most 2 kinds, one reaches B+1.
+        params = ProtocolParams(n=100_000, f=1, lam=lam, d=d)
+        if d > 1 / lam:
+            assert params.committee_quorum / 2 > params.committee_byzantine_bound
+
+
+class TestPaperConstantsConsistency:
+    def test_d_window_nonempty_needs_epsilon_above_0109(self):
+        # max{1/lam, 0.0362} < eps/3 - 1/(3 lam) requires, at the 0.0362
+        # floor and lam -> inf, eps > 3*0.0362 ~ 0.109: the paper's magic
+        # constant in the epsilon window.
+        assert math.isclose(3 * 0.0362, 0.1086, abs_tol=1e-4)
+
+    def test_window_feasible_example(self):
+        # A concrete (n, f) the paper's constraints admit.
+        params = ProtocolParams.from_paper(10**6)
+        assert params.paper_violations() == []
+        assert params.committee_quorum > 2 * params.committee_byzantine_bound

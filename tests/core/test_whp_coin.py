@@ -1,0 +1,206 @@
+"""Algorithm 2, the committee-based WHP coin."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.committees import sample, sample_committee
+from repro.core.messages import (
+    CoinValue,
+    FirstMsg,
+    SecondMsg,
+    coin_value_alpha,
+)
+from repro.core.params import ProtocolParams
+from repro.core.whp_coin import whp_coin
+from repro.crypto.pki import PKI
+from repro.crypto.vrf import VRFOutput
+from repro.sim.adversary import (
+    Adversary,
+    RandomScheduler,
+    StaticCorruption,
+    TargetedDelayScheduler,
+)
+from repro.sim.byzantine import ScriptedBehavior
+from repro.sim.runner import run_protocol
+
+
+N, F = 60, 4
+CORRUPT = {0, 1, 2, 3}
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ProtocolParams.simulation_scale(n=N, f=F, lam=45)
+
+
+def coin_protocol(round_id=0):
+    return lambda ctx: whp_coin(ctx, round_id)
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_correct_return(self, params, seed):
+        result = run_protocol(
+            N, F, coin_protocol(), corrupt=CORRUPT, params=params, seed=seed
+        )
+        assert result.live
+        assert len(result.returns) == N - F
+        assert result.returned_values <= {0, 1}
+
+    def test_under_targeted_delay(self, params):
+        adversary = Adversary(
+            scheduler=TargetedDelayScheduler(set(range(10)), random.Random(4)),
+            corruption=StaticCorruption(CORRUPT),
+        )
+        result = run_protocol(
+            N, F, coin_protocol(), adversary=adversary, params=params, seed=4
+        )
+        assert result.live
+
+
+class TestWordComplexity:
+    def test_only_committee_members_speak(self, params):
+        pki = PKI.create(N, rng=random.Random(0))
+        result = run_protocol(
+            N, 0, coin_protocol(), pki=pki, params=params, seed=5
+        )
+        instance = ("whp_coin", 0)
+        first = sample_committee(pki, instance, "first", params)
+        second = sample_committee(pki, instance, "second", params)
+        sent = result.metrics.messages_sent_correct
+        # Every first member broadcasts once, every second member at most once.
+        assert sent <= (len(first) + len(second)) * N
+        assert sent >= len(first) * N  # all firsts fire before any return
+
+    def test_subquadratic_vs_full_coin_at_larger_n(self):
+        # Sub-quadratic behaviour is asymptotic: with thin committees
+        # (lam = O(log n), here the feasibility-inflated default) the coin
+        # must beat the all-to-all coin's 2*2*n*n words by n = 200, both
+        # in words and (much more dramatically) in messages.
+        n, f = 200, 2
+        thin = ProtocolParams.simulation_scale(n=n, f=f)
+        assert thin.lam < n / 2
+        result = run_protocol(
+            n, f, lambda ctx: whp_coin(ctx, 0), corrupt={0, 1}, params=thin, seed=6
+        )
+        assert result.live
+        full_coin_words = 2 * n * n * 2
+        full_coin_messages = 2 * n * n
+        assert result.words < full_coin_words
+        assert result.metrics.messages_sent_correct < full_coin_messages / 2
+
+
+class TestAgreement:
+    def test_agreement_rate_high_under_oblivious_scheduler(self, params):
+        agreements = 0
+        trials = 15
+        for seed in range(trials):
+            result = run_protocol(
+                N, F, coin_protocol(), corrupt=CORRUPT, params=params, seed=seed
+            )
+            assert result.live
+            if len(result.returned_values) == 1:
+                agreements += 1
+        # The paper's whp bound at our d is tiny; random scheduling should
+        # agree almost always.  Require a solid majority of runs.
+        assert agreements >= trials * 0.6
+
+
+class TestByzantineResistance:
+    def test_non_first_committee_value_injection_rejected(self, params):
+        """The colluder attack: a Byzantine second-committee member relays
+        the genuine VRF value of a Byzantine process that is NOT in the
+        first committee.  Without origin-membership validation this could
+        bias the minimum; with it, the value must be ignored."""
+        instance = ("whp_coin", 0)
+
+        # Find keys where some corrupted process is in the second committee
+        # (the relayer) and another corrupted process is outside the first
+        # committee (the value donor).
+        pki = None
+        relayer = donor = None
+        for key_seed in range(300):
+            candidate = PKI.create(N, rng=random.Random(2000 + key_seed))
+            first = sample_committee(candidate, instance, "first", params)
+            second = sample_committee(candidate, instance, "second", params)
+            relayers = [pid for pid in CORRUPT if pid in second]
+            donors = [pid for pid in CORRUPT if pid not in first]
+            if relayers and donors:
+                pki = candidate
+                relayer, donor = relayers[0], donors[0]
+                break
+        assert pki is not None
+
+        donor_output = pki.vrf_scheme.prove(
+            pki.vrf_private(donor), coin_value_alpha(instance)
+        )
+
+        def attack(ctx):
+            if ctx.pid != relayer:
+                return
+            _, membership = sample(ctx, instance, "second", params)
+            injected = CoinValue(
+                value=donor_output.value,
+                origin=donor,
+                vrf=donor_output,
+                origin_membership=None,
+            )
+            ctx.broadcast(
+                SecondMsg(instance, coin_value=injected, membership=membership)
+            )
+
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(9)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=lambda pid: ScriptedBehavior(on_start=attack),
+        )
+        result = run_protocol(
+            N, F, coin_protocol(), adversary=adversary, pki=pki, params=params, seed=9
+        )
+        # The run deadlocks only if W seconds never arrive; with only one
+        # fake second-sender the correct committee still delivers.
+        assert result.live
+        # No correct process may output the donor's LSB *because of* the
+        # injection: the donor's value must not appear as any process's
+        # minimum unless it genuinely entered via the first committee
+        # (which it cannot -- the donor is not a member).  We verify the
+        # stronger property that outputs match a clean run with the same
+        # keys and silent Byzantine processes.
+        clean = run_protocol(
+            N, F, coin_protocol(), corrupt=CORRUPT, pki=pki, params=params, seed=9
+        )
+        assert result.returned_values == clean.returned_values
+
+    def test_forged_first_membership_rejected(self, params):
+        instance = ("whp_coin", 0)
+        pki = PKI.create(N, rng=random.Random(3000))
+
+        def forge(ctx):
+            output = ctx.vrf(coin_value_alpha(instance))
+            fake_membership = VRFOutput(value=0, proof=b"\x00" * 32)
+            mine = CoinValue(
+                value=output.value,
+                origin=ctx.pid,
+                vrf=output,
+                origin_membership=fake_membership,
+            )
+            ctx.broadcast(
+                FirstMsg(instance, coin_value=mine, membership=fake_membership)
+            )
+
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(10)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=lambda pid: ScriptedBehavior(on_start=forge),
+        )
+        result = run_protocol(
+            N, F, coin_protocol(), adversary=adversary, pki=pki, params=params, seed=10
+        )
+        clean = run_protocol(
+            N, F, coin_protocol(), corrupt=CORRUPT, pki=pki, params=params, seed=10
+        )
+        assert result.live
+        assert result.returned_values == clean.returned_values

@@ -1,0 +1,168 @@
+"""secp256k1 arithmetic and the ECVRF / Schnorr constructions."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ec
+from repro.crypto.signatures import SchnorrSignatureScheme
+from repro.crypto.vrf import ECVRF, VRFOutput
+
+
+class TestCurveArithmetic:
+    def test_generator_on_curve(self):
+        assert ec.is_on_curve(ec.GENERATOR)
+
+    def test_infinity_is_identity(self):
+        assert ec.point_add(ec.GENERATOR, ec.INFINITY) == ec.GENERATOR
+        assert ec.point_add(ec.INFINITY, ec.GENERATOR) == ec.GENERATOR
+
+    def test_inverse_sums_to_infinity(self):
+        negated = ec.Point(ec.GENERATOR.x, ec.FIELD_P - ec.GENERATOR.y)
+        assert ec.point_add(ec.GENERATOR, negated).is_infinity
+
+    def test_doubling_matches_addition_chain(self):
+        two_g = ec.point_add(ec.GENERATOR, ec.GENERATOR)
+        three_g = ec.point_add(two_g, ec.GENERATOR)
+        assert ec.scalar_mult(2, ec.GENERATOR) == two_g
+        assert ec.scalar_mult(3, ec.GENERATOR) == three_g
+        assert ec.is_on_curve(three_g)
+
+    def test_order_annihilates_generator(self):
+        assert ec.scalar_mult(ec.CURVE_ORDER, ec.GENERATOR).is_infinity
+
+    @given(st.integers(1, 2**128), st.integers(1, 2**128))
+    @settings(max_examples=10)
+    def test_scalar_mult_is_homomorphic(self, a, b):
+        left = ec.scalar_mult(a + b, ec.GENERATOR)
+        right = ec.point_add(
+            ec.scalar_mult(a, ec.GENERATOR), ec.scalar_mult(b, ec.GENERATOR)
+        )
+        assert left == right
+
+    def test_known_vector_2g(self):
+        # 2*G for secp256k1, a published test vector.
+        two_g = ec.scalar_mult(2, ec.GENERATOR)
+        assert two_g.x == int(
+            "C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5", 16
+        )
+        assert two_g.y == int(
+            "1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A", 16
+        )
+
+    def test_compressed_encoding_distinguishes_parity(self):
+        point = ec.scalar_mult(5, ec.GENERATOR)
+        mirrored = ec.Point(point.x, ec.FIELD_P - point.y)
+        assert point.encode() != mirrored.encode()
+        assert point.encode()[0] in (2, 3)
+
+
+class TestHashToPoint:
+    def test_lands_on_curve(self):
+        for i in range(10):
+            assert ec.is_on_curve(ec.hash_to_point(str(i).encode()))
+
+    def test_deterministic(self):
+        assert ec.hash_to_point(b"a") == ec.hash_to_point(b"a")
+
+    def test_input_sensitive(self):
+        assert ec.hash_to_point(b"a") != ec.hash_to_point(b"b")
+
+
+class TestECVRF:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return ECVRF().keygen(random.Random(61))
+
+    def test_roundtrip(self, keys):
+        scheme = ECVRF()
+        sk, pk = keys
+        output = scheme.prove(sk, b"alpha")
+        assert scheme.verify(pk, b"alpha", output)
+
+    def test_uniqueness_and_binding(self, keys):
+        scheme = ECVRF()
+        sk, pk = keys
+        output = scheme.prove(sk, b"alpha")
+        assert scheme.prove(sk, b"alpha") == output  # deterministic
+        assert not scheme.verify(pk, b"beta", output)
+        assert not scheme.verify(
+            pk, b"alpha", VRFOutput(value=output.value ^ 1, proof=output.proof)
+        )
+
+    def test_gamma_must_be_on_curve(self, keys):
+        scheme = ECVRF()
+        sk, pk = keys
+        output = scheme.prove(sk, b"alpha")
+        gx, gy, c, s = output.proof
+        forged = VRFOutput(value=output.value, proof=(gx, gy ^ 1, c, s))
+        assert not scheme.verify(pk, b"alpha", forged)
+
+    def test_malformed_proofs_rejected(self, keys):
+        scheme = ECVRF()
+        _, pk = keys
+        assert not scheme.verify(pk, b"a", VRFOutput(value=0, proof=b"bytes"))
+        assert not scheme.verify(pk, b"a", VRFOutput(value=0, proof=(1, 2, 3)))
+        assert not scheme.verify(pk, b"a", VRFOutput(value=0, proof=(1, 2, 3, "s")))
+
+    def test_wrong_public_key_rejected(self, keys):
+        scheme = ECVRF()
+        sk, _ = keys
+        _, other_pk = scheme.keygen(random.Random(62))
+        output = scheme.prove(sk, b"alpha")
+        assert not scheme.verify(other_pk, b"alpha", output)
+
+
+class TestSchnorr:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return SchnorrSignatureScheme().keygen(random.Random(63))
+
+    def test_roundtrip(self, keys):
+        scheme = SchnorrSignatureScheme()
+        sk, pk = keys
+        signature = scheme.sign(sk, b"message")
+        assert scheme.verify(pk, b"message", signature)
+
+    def test_binding(self, keys):
+        scheme = SchnorrSignatureScheme()
+        sk, pk = keys
+        signature = scheme.sign(sk, b"message")
+        assert not scheme.verify(pk, b"other", signature)
+        _, other_pk = scheme.keygen(random.Random(64))
+        assert not scheme.verify(other_pk, b"message", signature)
+
+    def test_s_tampering_rejected(self, keys):
+        scheme = SchnorrSignatureScheme()
+        sk, pk = keys
+        r_x, r_y, s = scheme.sign(sk, b"message")
+        assert not scheme.verify(pk, b"message", (r_x, r_y, s + 1))
+
+    def test_malformed_rejected(self, keys):
+        scheme = SchnorrSignatureScheme()
+        _, pk = keys
+        assert not scheme.verify(pk, b"m", None)
+        assert not scheme.verify(pk, b"m", (1, 2))
+
+
+class TestECPKIEndToEnd:
+    def test_shared_coin_over_ec(self):
+        """The full protocol stack over the genuine elliptic-curve VRF."""
+        from repro.core.params import ProtocolParams
+        from repro.core.shared_coin import shared_coin
+        from repro.crypto.pki import PKI
+        from repro.sim.runner import run_protocol
+
+        n = 5
+        pki = PKI.create(n, backend="ec", rng=random.Random(70))
+        result = run_protocol(
+            n, 0, lambda ctx: shared_coin(ctx, 0),
+            pki=pki, params=ProtocolParams(n=n, f=0), seed=70,
+        )
+        assert result.live
+        assert len(result.returned_values) == 1
+        assert result.returned_values <= {0, 1}

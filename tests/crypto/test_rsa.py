@@ -1,0 +1,91 @@
+"""RSA keygen and FDH signatures (the substrate of the real VRF)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.numtheory import is_probable_prime
+from repro.crypto.rsa import (
+    full_domain_hash,
+    generate_keypair,
+    rsa_sign,
+    rsa_verify,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(bits=256, rng=random.Random(21))
+
+
+class TestKeyGeneration:
+    def test_modulus_bit_length(self, keypair):
+        assert keypair.n.bit_length() == 256
+
+    def test_factors_are_prime(self, keypair):
+        assert is_probable_prime(keypair.p)
+        assert is_probable_prime(keypair.q)
+        assert keypair.p * keypair.q == keypair.n
+
+    def test_exponents_are_inverses(self, keypair):
+        phi = (keypair.p - 1) * (keypair.q - 1)
+        assert keypair.e * keypair.d % phi == 1
+
+    def test_public_key_strips_secrets(self, keypair):
+        public = keypair.public_key()
+        assert public.n == keypair.n
+        assert public.e == keypair.e
+        assert not hasattr(public, "d")
+
+    def test_distinct_rngs_give_distinct_keys(self):
+        a = generate_keypair(bits=128, rng=random.Random(1))
+        b = generate_keypair(bits=128, rng=random.Random(2))
+        assert a.n != b.n
+
+
+class TestFullDomainHash:
+    def test_in_range(self, keypair):
+        for i in range(50):
+            value = full_domain_hash(str(i).encode(), keypair.n)
+            assert 0 <= value < keypair.n
+
+    def test_deterministic(self, keypair):
+        assert full_domain_hash(b"m", keypair.n) == full_domain_hash(b"m", keypair.n)
+
+    def test_message_sensitivity(self, keypair):
+        assert full_domain_hash(b"m1", keypair.n) != full_domain_hash(b"m2", keypair.n)
+
+    def test_spreads_over_modulus(self, keypair):
+        # Crude uniformity check: values should land in both halves of Z_n.
+        values = [full_domain_hash(str(i).encode(), keypair.n) for i in range(40)]
+        assert any(v < keypair.n // 2 for v in values)
+        assert any(v >= keypair.n // 2 for v in values)
+
+
+class TestSignatures:
+    def test_roundtrip(self, keypair):
+        signature = rsa_sign(keypair, b"hello")
+        assert rsa_verify(keypair.public_key(), b"hello", signature)
+
+    def test_wrong_message_rejected(self, keypair):
+        signature = rsa_sign(keypair, b"hello")
+        assert not rsa_verify(keypair.public_key(), b"goodbye", signature)
+
+    def test_tampered_signature_rejected(self, keypair):
+        signature = rsa_sign(keypair, b"hello")
+        assert not rsa_verify(keypair.public_key(), b"hello", signature + 1)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = generate_keypair(bits=256, rng=random.Random(22))
+        signature = rsa_sign(keypair, b"hello")
+        assert not rsa_verify(other.public_key(), b"hello", signature)
+
+    def test_out_of_range_signature_rejected(self, keypair):
+        assert not rsa_verify(keypair.public_key(), b"m", -1)
+        assert not rsa_verify(keypair.public_key(), b"m", keypair.n)
+
+    def test_signature_is_deterministic(self, keypair):
+        # Uniqueness of RSA-FDH: one valid signature per message.
+        assert rsa_sign(keypair, b"m") == rsa_sign(keypair, b"m")

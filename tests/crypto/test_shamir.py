@@ -1,0 +1,87 @@
+"""Shamir secret sharing over the 256-bit prime field."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import FIELD_PRIME, Share, reconstruct_secret, split_secret
+from repro.crypto.numtheory import is_probable_prime
+
+
+class TestField:
+    def test_field_prime_is_prime(self):
+        assert is_probable_prime(FIELD_PRIME)
+
+    def test_field_holds_256_bit_hashes(self):
+        assert FIELD_PRIME > 2**255
+
+
+class TestSplit:
+    def test_share_count_and_points(self, rng):
+        shares = split_secret(123, threshold=3, num_shares=7, rng=rng)
+        assert len(shares) == 7
+        assert [s.x for s in shares] == list(range(1, 8))
+
+    def test_rejects_secret_outside_field(self, rng):
+        with pytest.raises(ValueError):
+            split_secret(FIELD_PRIME, 2, 3, rng)
+        with pytest.raises(ValueError):
+            split_secret(-1, 2, 3, rng)
+
+    def test_rejects_bad_threshold(self, rng):
+        with pytest.raises(ValueError):
+            split_secret(1, 0, 3, rng)
+        with pytest.raises(ValueError):
+            split_secret(1, 4, 3, rng)
+
+    def test_threshold_one_shares_equal_secret(self, rng):
+        shares = split_secret(99, threshold=1, num_shares=4, rng=rng)
+        assert all(s.y == 99 for s in shares)
+
+
+class TestReconstruct:
+    @given(
+        secret=st.integers(0, FIELD_PRIME - 1),
+        threshold=st.integers(1, 6),
+        extra=st.integers(0, 4),
+        seed=st.integers(0, 2**32),
+    )
+    @settings(max_examples=40)
+    def test_roundtrip_any_subset(self, secret, threshold, extra, seed):
+        rng = random.Random(seed)
+        num_shares = threshold + extra
+        shares = split_secret(secret, threshold, num_shares, rng)
+        subset = rng.sample(shares, threshold)
+        assert reconstruct_secret(subset) == secret
+
+    def test_all_threshold_subsets_agree(self, rng):
+        shares = split_secret(777, threshold=3, num_shares=5, rng=rng)
+        from itertools import combinations
+
+        results = {reconstruct_secret(list(c)) for c in combinations(shares, 3)}
+        assert results == {777}
+
+    def test_fewer_shares_give_wrong_secret(self, rng):
+        # Information-theoretically, k-1 shares interpolate to an
+        # essentially random value; check it simply differs here.
+        secret = 42
+        shares = split_secret(secret, threshold=4, num_shares=6, rng=rng)
+        assert reconstruct_secret(shares[:3]) != secret
+
+    def test_duplicate_x_rejected(self, rng):
+        shares = split_secret(1, 2, 3, rng)
+        with pytest.raises(ValueError):
+            reconstruct_secret([shares[0], shares[0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reconstruct_secret([])
+
+    def test_corrupted_share_changes_result(self, rng):
+        shares = split_secret(42, threshold=3, num_shares=3, rng=rng)
+        corrupted = [shares[0], shares[1], Share(x=shares[2].x, y=shares[2].y ^ 1)]
+        assert reconstruct_secret(corrupted) != 42

@@ -1,0 +1,120 @@
+"""Full Byzantine Agreement under *active* (message-sending) attackers.
+
+The component tests attack the coin and the approver in isolation; these
+compose the attacks against the full Algorithm 4 loop across rounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.agreement import byzantine_agreement
+from repro.core.committees import sample
+from repro.core.messages import InitMsg, OkMsg
+from repro.core.params import ProtocolParams
+from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.byzantine import ScriptedBehavior
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+N, F = 60, 4
+CORRUPT = {0, 1, 2, 3}
+
+
+@pytest.fixture(scope="module")
+def params():
+    return ProtocolParams.simulation_scale(n=N, f=F, safety_sigmas=4.0)
+
+
+def run_attacked(behavior_factory, params, seed):
+    adversary = Adversary(
+        scheduler=RandomScheduler(random.Random(seed)),
+        corruption=StaticCorruption(CORRUPT),
+        behavior_factory=behavior_factory,
+    )
+    return run_protocol(
+        N, F, lambda ctx: byzantine_agreement(ctx, ctx.pid % 2),
+        adversary=adversary, params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+    )
+
+
+class TestInitEquivocationAcrossRounds:
+    def test_equivocating_every_approver_instance(self, params):
+        """Byzantine init members push BOTH values into every approver of
+        the first three rounds; safety and liveness must survive."""
+
+        def equivocate(ctx):
+            for round_id in range(3):
+                for phase in ("est", "prop"):
+                    instance = ("ba", round_id, phase)
+                    sampled, proof = sample(ctx, instance, "init", params)
+                    if sampled:
+                        for value in (0, 1, None):
+                            ctx.broadcast(
+                                InitMsg(instance, value=value, membership=proof)
+                            )
+
+        result = run_attacked(
+            lambda pid: ScriptedBehavior(on_start=equivocate), params, seed=1
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestOkFloodingAcrossRounds:
+    def test_unjustified_ok_flood(self, params):
+        """Byzantine ok-committee members flood unjustified oks for ⊥ in
+        every instance; the justification check must drop them all."""
+
+        def flood(ctx):
+            for round_id in range(3):
+                for phase in ("est", "prop"):
+                    instance = ("ba", round_id, phase)
+                    sampled, proof = sample(ctx, instance, "ok", params)
+                    if sampled:
+                        ctx.broadcast(
+                            OkMsg(instance, value=None, membership=proof,
+                                  justification=())
+                        )
+
+        result = run_attacked(
+            lambda pid: ScriptedBehavior(on_start=flood), params, seed=2
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+        assert result.decided_values <= {0, 1}
+
+
+class TestCombinedAttack:
+    def test_equivocation_plus_flood_plus_unanimity(self, params):
+        """Unanimous correct inputs with both attacks running: Validity
+        requires the correct value to win regardless."""
+
+        def combined(ctx):
+            for round_id in range(2):
+                instance = ("ba", round_id, "est")
+                sampled, proof = sample(ctx, instance, "init", params)
+                if sampled:
+                    ctx.broadcast(InitMsg(instance, value=0, membership=proof))
+                sampled, proof = sample(ctx, instance, "ok", params)
+                if sampled:
+                    ctx.broadcast(
+                        OkMsg(instance, value=0, membership=proof, justification=())
+                    )
+
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(3)),
+            corruption=StaticCorruption(CORRUPT),
+            behavior_factory=lambda pid: ScriptedBehavior(on_start=combined),
+        )
+        result = run_protocol(
+            N, F, lambda ctx: byzantine_agreement(ctx, 1),
+            adversary=adversary, params=params,
+            stop_condition=stop_when_all_decided, seed=3,
+        )
+        assert result.live
+        assert result.decided_values == {1}

@@ -1,0 +1,42 @@
+"""The ASCII log-log plotter used by the scaling artefact."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ascii_plot import loglog_plot
+
+
+class TestLogLogPlot:
+    def test_renders_all_series(self):
+        text = loglog_plot({"alpha": [(1, 1), (10, 100)], "beta": [(1, 2), (10, 20)]})
+        assert "o=alpha" in text
+        assert "x=beta" in text
+        assert text.count("o") >= 2
+
+    def test_axis_ranges_in_labels(self):
+        text = loglog_plot({"s": [(10, 100), (1000, 10000)]}, x_label="n", y_label="w")
+        assert "10 .. 1e+03" in text
+        assert "100 .. 1e+04" in text
+
+    def test_degenerate_single_point(self):
+        text = loglog_plot({"s": [(5, 5)]})
+        assert "o" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            loglog_plot({})
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_plot({"s": [(0, 1)]})
+        with pytest.raises(ValueError):
+            loglog_plot({"s": [(1, -1)]})
+
+    def test_monotone_series_fills_diagonal(self):
+        text = loglog_plot(
+            {"s": [(10**k, 10**k) for k in range(1, 5)]}, width=20, height=10
+        )
+        rows = [line for line in text.splitlines() if line.startswith("|")]
+        marker_cols = [row.index("o") for row in rows if "o" in row]
+        assert marker_cols == sorted(marker_cols, reverse=True)

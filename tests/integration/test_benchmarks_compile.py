@@ -1,0 +1,54 @@
+"""The benchmark harness files must parse, and the registry must stay
+consistent with the CLI and DESIGN.md's experiment index."""
+
+from __future__ import annotations
+
+import py_compile
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parents[2]
+BENCHES = sorted((ROOT / "benchmarks").glob("bench_*.py"))
+
+
+@pytest.mark.parametrize("path", BENCHES, ids=lambda p: p.stem)
+def test_bench_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+def test_every_designed_experiment_has_a_bench():
+    ids = {path.stem for path in BENCHES}
+    for experiment in ("t1", "f1", "e1", "e1b", "e2", "e3", "e4",
+                       "e5", "e6", "e7", "e8", "x1", "x2"):
+        assert any(stem.startswith(f"bench_{experiment}_") for stem in ids), experiment
+
+
+def test_cli_covers_every_experiment():
+    from repro.cli import COMMANDS
+
+    for experiment in ("t1", "f1", "e1", "e1b", "e2", "e3", "e4",
+                       "e5", "e6", "e7", "e8", "x1", "x2"):
+        assert experiment in COMMANDS, experiment
+
+
+def test_design_md_references_every_bench():
+    design = (ROOT / "DESIGN.md").read_text()
+    for path in BENCHES:
+        if path.stem == "bench_substrate":
+            continue  # micro-benchmarks, not a paper artefact
+        # DESIGN's index uses either the explicit filename or the id scheme.
+        experiment_id = path.stem.split("_")[1]
+        assert re.search(
+            rf"{path.name}|bench_{experiment_id}_", design
+        ), path.name
+
+
+def test_benches_save_reports():
+    for path in BENCHES:
+        if path.stem == "bench_substrate":
+            continue
+        source = path.read_text()
+        assert "save_report" in source, path.name
+        assert "What must reproduce" in source or "see DESIGN.md" in source, path.name

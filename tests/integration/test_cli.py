@@ -1,0 +1,34 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import COMMANDS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in COMMANDS:
+            assert name in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["pbft"])
+
+    def test_e1_tiny(self, capsys):
+        assert main(["e1", "--n", "10", "--seeds", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "epsilon" in out
+        assert "agreement rate" in out
+
+    def test_e6_quick(self, capsys):
+        assert main(["e6", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "content-aware" in out
+
+    def test_f1_tiny(self, capsys):
+        assert main(["f1", "--n", "60", "--seeds", "3"]) == 0
+        assert "committee" in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Determinism across the scheduler zoo: same (seed, scheduler) ⇒ same run.
+
+Reproducibility is a first-class deliverable of the harness: every
+experiment in EXPERIMENTS.md cites seeds, so any nondeterminism leak
+(iteration order, unseeded randomness, id()-keyed dicts) would silently
+invalidate them.  This matrix pins byte-level run equality per scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.crypto.pki import PKI
+from repro.sim.adversary import (
+    Adversary,
+    ContentAwareMinWithholdScheduler,
+    FIFOScheduler,
+    PartitionScheduler,
+    RandomScheduler,
+    ScriptedScheduler,
+    StaticCorruption,
+    TargetedDelayScheduler,
+)
+from repro.sim.runner import RunResult, run_protocol
+
+N, F = 10, 2
+
+SCHEDULER_FACTORIES = {
+    "random": lambda seed: RandomScheduler(random.Random(seed)),
+    "fifo": lambda seed: FIFOScheduler(),
+    "targeted": lambda seed: TargetedDelayScheduler({0, 1}, random.Random(seed)),
+    "partition": lambda seed: PartitionScheduler({0, 1, 2}, 50, random.Random(seed)),
+    "scripted": lambda seed: ScriptedScheduler(
+        random.Random(seed).choices(range(1000), k=300)
+    ),
+    "content-aware": lambda seed: ContentAwareMinWithholdScheduler(random.Random(seed)),
+}
+
+
+def run_once(scheduler_name: str, seed: int) -> RunResult:
+    pki = PKI.create(N, rng=random.Random(99))
+    adversary = Adversary(
+        scheduler=SCHEDULER_FACTORIES[scheduler_name](seed),
+        corruption=StaticCorruption({0, 1}),
+    )
+    return run_protocol(
+        N, F, lambda ctx: shared_coin(ctx, 0),
+        adversary=adversary, pki=pki, params=ProtocolParams(n=N, f=F), seed=seed,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULER_FACTORIES))
+class TestDeterminism:
+    def test_identical_runs(self, name):
+        a = run_once(name, seed=5)
+        b = run_once(name, seed=5)
+        assert a.returns == b.returns
+        assert a.deliveries == b.deliveries
+        assert a.words == b.words
+        assert a.metrics.words_by_kind == b.metrics.words_by_kind
+
+    def test_live_under_this_scheduler(self, name):
+        result = run_once(name, seed=6)
+        assert result.live
+        assert len(result.returns) == N - F

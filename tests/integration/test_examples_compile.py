@@ -1,0 +1,39 @@
+"""Examples must at least parse and compile on every change.
+
+(Executing them is covered by docs/CI instructions; at test time we keep
+this cheap -- full runs take ~minutes on one core.)
+"""
+
+from __future__ import annotations
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parents[2] / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "committee_sampling",
+        "adversarial_schedules",
+        "protocol_comparison",
+        "permissioned_ledger",
+        "tracing_a_run",
+        "multivalued_consensus",
+    } <= names
+
+
+def test_examples_have_docstrings_and_main():
+    for path in EXAMPLES:
+        source = path.read_text()
+        assert source.lstrip().startswith(('#!/usr/bin/env python3\n"""', '"""')), path
+        assert '__main__' in source, path

@@ -1,0 +1,31 @@
+"""The README's quickstart snippet must actually run as printed."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+README = (Path(__file__).parents[2] / "README.md").read_text()
+
+
+def extract_first_python_block(text: str) -> str:
+    match = re.search(r"```python\n(.*?)```", text, re.DOTALL)
+    assert match, "README has no python code block"
+    return match.group(1)
+
+
+def test_quickstart_block_executes():
+    code = extract_first_python_block(README)
+    namespace: dict = {}
+    exec(compile(code, "README-quickstart", "exec"), namespace)  # noqa: S102
+    result = namespace["result"]
+    assert result.live
+    assert result.agreement
+    assert result.decided_values <= {0, 1}
+    assert result.words > 0
+    assert result.duration > 0
+
+
+def test_readme_mentions_all_top_level_packages():
+    for package in ("crypto", "sim", "core", "baselines", "analysis", "experiments"):
+        assert package in README

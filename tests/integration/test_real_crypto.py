@@ -1,0 +1,56 @@
+"""End-to-end runs over the *real* RSA-FDH crypto (small keys, small n).
+
+Everything else in the suite uses the fast simulated backend; these tests
+pin that the genuine number-theoretic path drives the same protocol logic.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.agreement import byzantine_agreement
+from repro.core.approver import approve
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.crypto.pki import PKI
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+
+@pytest.fixture(scope="module")
+def pki_8():
+    return PKI.create(8, backend="rsa", rng=random.Random(500), modulus_bits=256)
+
+
+class TestRealCryptoPaths:
+    def test_shared_coin_over_rsa(self, pki_8):
+        params = ProtocolParams(n=8, f=1)
+        result = run_protocol(
+            8, 1, lambda ctx: shared_coin(ctx, 0), corrupt={0},
+            pki=pki_8, params=params, seed=1,
+        )
+        assert result.live
+        assert len(result.returned_values) == 1
+        assert result.returned_values <= {0, 1}
+
+    def test_approver_over_rsa(self, pki_8):
+        # Fat committees (lam = n) so tiny n stays live.
+        params = ProtocolParams(n=8, f=0, lam=8.0, d=0.05)
+        result = run_protocol(
+            8, 0, lambda ctx: approve(ctx, ("rsa-approve",), 1, params),
+            pki=pki_8, params=params, seed=2,
+        )
+        assert result.live
+        assert result.returned_values == {frozenset({1})}
+
+    def test_agreement_over_rsa(self, pki_8):
+        params = ProtocolParams(n=8, f=0, lam=8.0, d=0.05)
+        result = run_protocol(
+            8, 0, lambda ctx: byzantine_agreement(ctx, ctx.pid % 2, params),
+            pki=pki_8, params=params,
+            stop_condition=stop_when_all_decided, seed=3,
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement

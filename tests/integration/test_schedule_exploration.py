@@ -1,0 +1,98 @@
+"""Property-based schedule exploration: protocol guarantees must hold for
+EVERY legal delivery order, so we let hypothesis choose (and shrink) the
+schedule itself via :class:`~repro.sim.adversary.ScriptedScheduler`.
+
+Tiny systems keep each run in the low milliseconds while still exercising
+thousands of distinct interleavings across the example budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.mmr import local_coin, mmr_agreement
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.crypto.pki import PKI
+from repro.sim.adversary import Adversary, ScriptedScheduler, StaticCorruption
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+# One PKI per system size, shared across examples (keys are orthogonal to
+# scheduling; regenerating them per example would just slow the sweep).
+_PKI_CACHE: dict[int, PKI] = {}
+
+
+def _pki(n: int) -> PKI:
+    if n not in _PKI_CACHE:
+        _PKI_CACHE[n] = PKI.create(n, rng=random.Random(9000 + n))
+    return _PKI_CACHE[n]
+
+
+schedules = st.lists(st.integers(0, 2**16), max_size=400)
+
+# Filled by the first f=0 coin example; every other schedule must match.
+_EXPECTED_COIN5: set[int] = set()
+
+
+class TestSharedCoinUnderAllSchedules:
+    @given(choices=schedules)
+    @settings(max_examples=60, deadline=None)
+    def test_liveness_and_agreement_shape(self, choices):
+        n, f = 6, 1
+        adversary = Adversary(
+            scheduler=ScriptedScheduler(choices),
+            corruption=StaticCorruption({0}),
+        )
+        result = run_protocol(
+            n, f, lambda ctx: shared_coin(ctx, 0),
+            adversary=adversary, pki=_pki(n),
+            params=ProtocolParams(n=n, f=f), seed=1,
+        )
+        # Liveness under any schedule (Lemma 4.11) and well-formed output.
+        assert result.live
+        assert len(result.returns) == n - f
+        assert result.returned_values <= {0, 1}
+
+    @given(choices=schedules)
+    @settings(max_examples=30, deadline=None)
+    def test_no_failures_coin_is_schedule_independent(self, choices):
+        # With f = 0 everyone waits for everyone: the output must be the
+        # same bit under EVERY schedule (it is a function of the keys).
+        n = 5
+        adversary = Adversary(scheduler=ScriptedScheduler(choices))
+        result = run_protocol(
+            n, 0, lambda ctx: shared_coin(ctx, 0),
+            adversary=adversary, pki=_pki(n),
+            params=ProtocolParams(n=n, f=0), seed=2,
+        )
+        assert result.live
+        assert len(result.returned_values) == 1
+        if not _EXPECTED_COIN5:
+            _EXPECTED_COIN5.update(result.returned_values)
+        assert result.returned_values == _EXPECTED_COIN5
+
+
+class TestMMRSafetyUnderAllSchedules:
+    @given(choices=schedules)
+    @settings(max_examples=40, deadline=None)
+    def test_agreement_never_violated(self, choices):
+        n, f = 7, 2
+        adversary = Adversary(
+            scheduler=ScriptedScheduler(choices),
+            corruption=StaticCorruption({0, 1}),
+        )
+        result = run_protocol(
+            n, f,
+            lambda ctx: mmr_agreement(ctx, ctx.pid % 2, local_coin, max_rounds=6),
+            adversary=adversary, pki=_pki(n),
+            params=ProtocolParams(n=n, f=f),
+            stop_condition=stop_when_all_decided, seed=3,
+            max_deliveries=200_000,
+        )
+        # Safety must hold whether or not this schedule reached decisions
+        # within the round budget.
+        assert result.agreement
+        assert result.decided_values <= {0, 1}

@@ -1,0 +1,122 @@
+"""Byzantine behaviour plumbing: hooks, corruption-time semantics."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.pki import PKI
+from repro.sim.adversary import (
+    AdaptiveFirstSpeakersCorruption,
+    Adversary,
+    FIFOScheduler,
+    RandomScheduler,
+    StaticCorruption,
+)
+from repro.sim.byzantine import CrashBehavior, ScriptedBehavior, SilentBehavior
+from repro.sim.messages import Message
+from repro.sim.network import Simulation
+from repro.sim.process import Wait
+
+
+@dataclass
+class Note(Message):
+    body: str = ""
+
+    def words(self) -> int:
+        return 1
+
+
+def collector(ctx):
+    ctx.broadcast(Note("n", body=f"from-{ctx.pid}"))
+    seen = {}
+    cursor = 0
+
+    def condition(mailbox):
+        nonlocal cursor
+        stream = mailbox.stream("n")
+        while cursor < len(stream):
+            sender, msg = stream[cursor]
+            cursor += 1
+            seen.setdefault(sender, msg.body)
+        if len(seen) >= ctx.n - ctx._simulation.f:
+            return dict(seen)
+        return None
+
+    return (yield Wait(condition))
+
+
+def build(n, f, corrupt, behavior_factory=None, corruption=None, seed=0):
+    pki = PKI.create(n, rng=random.Random(seed))
+    adversary = Adversary(
+        scheduler=RandomScheduler(random.Random(seed)),
+        corruption=corruption or StaticCorruption(corrupt),
+        behavior_factory=behavior_factory or (lambda pid: SilentBehavior()),
+    )
+    sim = Simulation(n=n, f=f, pki=pki, adversary=adversary, seed=seed)
+    sim.set_protocol_all(collector)
+    return sim
+
+
+class TestSilentAndCrash:
+    def test_silent_sends_nothing(self):
+        sim = build(5, 1, {0}).run()
+        for pid in sim.correct_pids:
+            assert "from-0" not in sim.returns[pid].values()
+
+    def test_crash_is_silent(self):
+        sim = build(5, 1, {0}, behavior_factory=lambda pid: CrashBehavior()).run()
+        assert sim.metrics.messages_sent_total == 4 * 5
+
+
+class TestScriptedHooks:
+    def test_on_start_and_on_deliver_called(self):
+        calls = {"start": 0, "deliver": 0}
+
+        def factory(pid):
+            return ScriptedBehavior(
+                on_start=lambda ctx: calls.__setitem__("start", calls["start"] + 1),
+                on_deliver=lambda ctx, env: calls.__setitem__(
+                    "deliver", calls["deliver"] + 1
+                ),
+            )
+
+        sim = build(4, 1, {0}, behavior_factory=factory).run()
+        assert calls["start"] == 1
+        # Exactly the messages addressed to pid 0: one from each of the
+        # 3 correct senders (the behaviour itself sends nothing).
+        assert calls["deliver"] == 3
+        assert sim.corrupted == {0}
+
+    def test_on_corrupt_called_for_adaptive(self):
+        corrupted_ctx_pids = []
+
+        def factory(pid):
+            return ScriptedBehavior(
+                on_corrupt=lambda ctx: corrupted_ctx_pids.append(ctx.pid)
+            )
+
+        pki = PKI.create(4, rng=random.Random(3))
+        adversary = Adversary(
+            scheduler=FIFOScheduler(),
+            corruption=AdaptiveFirstSpeakersCorruption(),
+            behavior_factory=factory,
+        )
+        sim = Simulation(n=4, f=1, pki=pki, adversary=adversary, seed=3)
+        sim.set_protocol_all(collector)
+        sim.run()
+        assert corrupted_ctx_pids == sorted(sim.corrupted)
+
+    def test_behavior_can_use_victims_keys(self):
+        """After corruption the behaviour holds the process's context and
+        can sign with its keys -- the adversary's 'full access'."""
+        signatures = []
+
+        def factory(pid):
+            return ScriptedBehavior(
+                on_start=lambda ctx: signatures.append(ctx.sign(b"stolen"))
+            )
+
+        sim = build(4, 1, {2}, behavior_factory=factory).run()
+        assert signatures
+        assert sim.pki.signature_verify(2, b"stolen", signatures[0])

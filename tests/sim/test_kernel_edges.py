@@ -1,0 +1,131 @@
+"""Kernel edge cases: error propagation, livelock guard, stop timing."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import pytest
+
+from repro.crypto.pki import PKI
+from repro.sim.adversary import Adversary, RandomScheduler
+from repro.sim.messages import Message
+from repro.sim.network import Simulation
+from repro.sim.process import Wait
+
+
+@dataclass
+class Tick(Message):
+    def words(self) -> int:
+        return 1
+
+
+def make_sim(n=3, seed=0, **kwargs):
+    pki = PKI.create(n, rng=random.Random(seed))
+    sim = Simulation(
+        n=n, f=0, pki=pki,
+        adversary=Adversary(scheduler=RandomScheduler(random.Random(seed))),
+        seed=seed, **kwargs,
+    )
+    return sim
+
+
+class TestErrorPropagation:
+    def test_protocol_exception_surfaces(self):
+        """A bug in a correct process's protocol is a test bug: the kernel
+        must propagate it loudly, not swallow it as a 'fault'."""
+
+        def buggy(ctx):
+            raise KeyError("protocol bug")
+            yield
+
+        sim = make_sim()
+        sim.set_protocol_all(buggy)
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_condition_exception_surfaces(self):
+        def bad_condition(ctx):
+            ctx.broadcast(Tick("t"))
+            yield Wait(lambda mailbox: 1 / 0)
+
+        sim = make_sim()
+        sim.set_protocol_all(bad_condition)
+        with pytest.raises(ZeroDivisionError):
+            sim.run()
+
+
+class TestLivelockGuard:
+    def test_always_true_condition_detected(self):
+        def spinner(ctx):
+            while True:
+                yield Wait(lambda mailbox: True)
+
+        sim = make_sim()
+        sim.set_protocol_all(spinner)
+        with pytest.raises(RuntimeError, match="without blocking"):
+            sim.run()
+
+
+class TestStopConditionTiming:
+    def test_stop_checked_before_every_delivery(self):
+        """The stop condition fires between deliveries, so the delivery
+        count at stop is exact, not approximate."""
+        seen = []
+
+        def noter(ctx):
+            ctx.broadcast(Tick("t"))
+            yield Wait(lambda mailbox: None)
+
+        def stop_at_four(simulation):
+            seen.append(simulation.deliveries if hasattr(simulation, "deliveries") else None)
+            return simulation.metrics.messages_delivered >= 4
+
+        sim = make_sim(stop_condition=stop_at_four)
+        sim.set_protocol_all(noter)
+        sim.run()
+        assert sim.metrics.messages_delivered == 4
+        assert sim.stopped_by_condition
+
+    def test_zero_message_protocol_terminates(self):
+        def silent_return(ctx):
+            return "done"
+            yield
+
+        sim = make_sim()
+        sim.set_protocol_all(silent_return)
+        sim.run()
+        assert sim.returns == {0: "done", 1: "done", 2: "done"}
+        assert not sim.deadlocked
+
+
+class TestCorruptionEdges:
+    def test_corrupting_finished_process_is_allowed(self):
+        """A process whose generator already returned can still be
+        corrupted (its budget slot is spent like any other)."""
+        def quick(ctx):
+            return "ok"
+            yield
+
+        pki = PKI.create(3, rng=random.Random(1))
+        sim = Simulation(
+            n=3, f=1, pki=pki,
+            adversary=Adversary(scheduler=RandomScheduler(random.Random(1))),
+            seed=1,
+        )
+        sim.set_protocol_all(quick)
+        sim.run()
+        assert sim.corrupt(0)
+        assert sim.corrupted == {0}
+
+    def test_double_corruption_rejected(self):
+        pki = PKI.create(3, rng=random.Random(2))
+        sim = Simulation(
+            n=3, f=2, pki=pki,
+            adversary=Adversary(scheduler=RandomScheduler(random.Random(2))),
+            seed=2,
+        )
+        sim.set_protocol_all(lambda ctx: iter(()))
+        assert sim.corrupt(1)
+        assert not sim.corrupt(1)  # already corrupted
+        assert len(sim.corrupted) == 1

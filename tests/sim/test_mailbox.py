@@ -1,0 +1,52 @@
+"""Mailbox semantics: append-only, per-instance streams."""
+
+from __future__ import annotations
+
+from repro.sim.mailbox import Mailbox
+from repro.sim.messages import Message
+
+
+def msg(instance):
+    return Message(instance=instance)
+
+
+class TestMailbox:
+    def test_streams_are_per_instance(self):
+        box = Mailbox()
+        box.add(1, msg("a"))
+        box.add(2, msg("b"))
+        box.add(3, msg("a"))
+        assert [sender for sender, _ in box.stream("a")] == [1, 3]
+        assert [sender for sender, _ in box.stream("b")] == [2]
+
+    def test_stream_is_append_only_view(self):
+        box = Mailbox()
+        stream = box.stream("a")
+        assert stream == []
+        box.add(1, msg("a"))
+        assert len(stream) == 1  # same list object grows in place
+
+    def test_unknown_instance_is_empty(self):
+        box = Mailbox()
+        assert box.stream("never") == []
+        assert box.count("never") == 0
+
+    def test_total_delivered(self):
+        box = Mailbox()
+        for i in range(5):
+            box.add(i, msg(i % 2))
+        assert box.total_delivered == 5
+        assert box.count(0) == 3
+        assert box.count(1) == 2
+
+    def test_tuple_instances(self):
+        box = Mailbox()
+        box.add(0, msg(("ba", 1, "est")))
+        assert box.count(("ba", 1, "est")) == 1
+        assert box.count(("ba", 1, "prop")) == 0
+
+    def test_instances_iteration(self):
+        box = Mailbox()
+        box.add(0, msg("x"))
+        box.add(0, msg("y"))
+        assert set(box.instances()) == {"x", "y"}

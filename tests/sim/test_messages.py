@@ -1,0 +1,55 @@
+"""Message/envelope basics and the metadata view."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.messages import Envelope, EnvelopeView, Message
+
+
+@dataclass
+class Payload(Message):
+    secret: int = 0
+
+    def words(self) -> int:
+        return 3
+
+
+class TestMessage:
+    def test_default_word_size_is_one(self):
+        assert Message(instance="x").words() == 1
+
+    def test_subclass_word_size(self):
+        assert Payload(instance="x", secret=5).words() == 3
+
+
+class TestEnvelope:
+    def test_instance_proxies_payload(self):
+        env = Envelope(
+            seq=1,
+            sender=0,
+            dest=2,
+            payload=Payload(instance=("round", 1), secret=9),
+            depth=4,
+            sender_correct=True,
+        )
+        assert env.instance == ("round", 1)
+
+    def test_view_exposes_metadata_only(self):
+        env = Envelope(
+            seq=7,
+            sender=1,
+            dest=3,
+            payload=Payload(instance="i", secret=42),
+            depth=2,
+            sender_correct=True,
+        )
+        view = EnvelopeView.of(env)
+        assert view.seq == 7
+        assert view.sender == 1
+        assert view.dest == 3
+        assert view.instance == "i"
+        assert view.kind == "Payload"
+        assert view.depth == 2
+        assert not hasattr(view, "payload")
+        assert not hasattr(view, "secret")

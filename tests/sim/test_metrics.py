@@ -1,0 +1,64 @@
+"""Word-complexity accounting (the paper's Section 2 definitions)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.messages import Envelope, Message
+from repro.sim.metrics import MetricsRecorder
+
+
+@dataclass
+class ThreeWord(Message):
+    def words(self) -> int:
+        return 3
+
+
+def envelope(sender=0, correct=True, message=None, seq=0):
+    return Envelope(
+        seq=seq,
+        sender=sender,
+        dest=1,
+        payload=message or ThreeWord("i"),
+        depth=1,
+        sender_correct=correct,
+    )
+
+
+class TestWordAccounting:
+    def test_correct_senders_counted(self):
+        metrics = MetricsRecorder()
+        metrics.record_send(envelope(correct=True))
+        assert metrics.words_correct == 3
+        assert metrics.words_total == 3
+        assert metrics.messages_sent_correct == 1
+
+    def test_byzantine_senders_excluded_from_word_complexity(self):
+        # The paper counts words sent by *correct* processes only.
+        metrics = MetricsRecorder()
+        metrics.record_send(envelope(correct=False))
+        assert metrics.words_correct == 0
+        assert metrics.words_total == 3
+        assert metrics.messages_sent_total == 1
+        assert metrics.messages_sent_correct == 0
+
+    def test_per_kind_breakdown(self):
+        metrics = MetricsRecorder()
+        metrics.record_send(envelope(message=ThreeWord("i")))
+        metrics.record_send(envelope(message=Message("i")))
+        assert metrics.words_by_kind["ThreeWord"] == 3
+        assert metrics.words_by_kind["Message"] == 1
+        assert metrics.messages_by_kind["ThreeWord"] == 1
+
+    def test_byzantine_sends_not_in_kind_breakdown(self):
+        metrics = MetricsRecorder()
+        metrics.record_send(envelope(correct=False))
+        assert "ThreeWord" not in metrics.words_by_kind
+
+    def test_delivery_counter(self):
+        metrics = MetricsRecorder()
+        env = envelope()
+        metrics.record_send(env)
+        metrics.record_delivery(env)
+        metrics.record_delivery(env)
+        assert metrics.messages_delivered == 2

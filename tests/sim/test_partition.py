@@ -1,0 +1,71 @@
+"""PartitionScheduler: finite partitions must not break asynchronous
+protocols -- they stall the minority side and heal."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.baselines.mmr import local_coin, mmr_agreement
+from repro.sim.adversary import Adversary, PartitionScheduler, StaticCorruption
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+
+def partition_adversary(group_a, heal_after, seed, corrupt=frozenset()):
+    return Adversary(
+        scheduler=PartitionScheduler(group_a, heal_after, random.Random(seed)),
+        corruption=StaticCorruption(corrupt),
+    )
+
+
+class TestSharedCoinUnderPartition:
+    def test_coin_survives_majority_minority_split(self):
+        n, f = 12, 2
+        result = run_protocol(
+            n, f, lambda ctx: shared_coin(ctx, 0),
+            adversary=partition_adversary(set(range(4)), heal_after=150, seed=1),
+            params=ProtocolParams(n=n, f=f), seed=1,
+        )
+        assert result.live
+        assert len(result.returned_values) == 1
+
+    def test_partition_never_drops_messages(self):
+        n = 8
+        result = run_protocol(
+            n, 0, lambda ctx: shared_coin(ctx, 0),
+            adversary=partition_adversary(set(range(4)), heal_after=60, seed=2),
+            params=ProtocolParams(n=n, f=0), seed=2,
+        )
+        assert result.live
+        assert result.metrics.messages_delivered == result.metrics.messages_sent_total
+
+
+class TestAgreementUnderPartition:
+    def test_mmr_decides_after_heal(self):
+        n, f = 13, 2
+        result = run_protocol(
+            n, f, lambda ctx: mmr_agreement(ctx, ctx.pid % 2, local_coin),
+            adversary=partition_adversary(
+                set(range(6)), heal_after=400, seed=3, corrupt={0, 1}
+            ),
+            params=ProtocolParams(n=n, f=f),
+            stop_condition=stop_when_all_decided, seed=3,
+        )
+        assert result.live
+        assert result.all_correct_decided
+        assert result.agreement
+
+
+class TestHealSemantics:
+    def test_heal_counter(self):
+        scheduler = PartitionScheduler({0}, heal_after=2, rng=random.Random(4))
+        assert not scheduler.healed
+        scheduler.on_delivered(998)
+        assert not scheduler.healed
+        scheduler.on_delivered(999)
+        assert scheduler.healed
+
+    def test_zero_threshold_is_never_partitioned(self):
+        scheduler = PartitionScheduler({0}, heal_after=0, rng=random.Random(5))
+        assert scheduler.healed

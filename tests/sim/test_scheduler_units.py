@@ -1,0 +1,106 @@
+"""Pure-unit scheduler tests (no simulation kernel)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.adversary import (
+    Adversary,
+    PartitionScheduler,
+    ReplayScheduler,
+    ScriptedScheduler,
+)
+from repro.sim.byzantine import SilentBehavior
+from repro.sim.messages import EnvelopeView
+
+
+def view(seq, sender, dest, kind="Msg"):
+    return EnvelopeView(
+        seq=seq, sender=sender, dest=dest, instance="i", kind=kind, depth=1
+    )
+
+
+class FakePool:
+    """Only seq_at/len are exercised by the schedulers under test."""
+
+    def __init__(self, seqs):
+        self.seqs = list(seqs)
+
+    def __len__(self):
+        return len(self.seqs)
+
+    def seq_at(self, index):
+        return self.seqs[index]
+
+
+class TestPartitionMerge:
+    def test_cross_bucket_merges_at_heal(self):
+        scheduler = PartitionScheduler({0}, heal_after=2, rng=random.Random(1))
+        scheduler.on_submit(10, view(10, 0, 1))  # cross
+        scheduler.on_submit(11, view(11, 1, 2))  # intra
+        assert len(scheduler._cross) == 1
+        scheduler.on_delivered(11)
+        scheduler.on_delivered(99)
+        assert scheduler.healed
+        # First post-heal choice triggers the merge; the cross message is
+        # now eligible from the common pool.
+        chosen = scheduler.choose(FakePool([10]))
+        assert chosen == 10
+        assert len(scheduler._cross) == 0
+
+    def test_pre_heal_prefers_intra(self):
+        scheduler = PartitionScheduler({0}, heal_after=10**9, rng=random.Random(2))
+        scheduler.on_submit(10, view(10, 0, 1))  # cross
+        scheduler.on_submit(11, view(11, 1, 2))  # intra
+        assert scheduler.choose(FakePool([10, 11])) == 11
+
+    def test_drained_side_releases_cross(self):
+        scheduler = PartitionScheduler({0}, heal_after=10**9, rng=random.Random(3))
+        scheduler.on_submit(10, view(10, 0, 1))  # cross only
+        assert scheduler.choose(FakePool([10])) == 10
+
+
+class TestScriptedScheduler:
+    def test_choices_index_modulo_pool(self):
+        scheduler = ScriptedScheduler([0, 5, 1])
+        pool = FakePool([100, 200, 300])
+        assert scheduler.choose(pool) == 100   # 0 % 3
+        assert scheduler.choose(pool) == 300   # 5 % 3
+        assert scheduler.choose(pool) == 200   # 1 % 3
+
+    def test_exhausted_script_falls_back_to_first(self):
+        scheduler = ScriptedScheduler([])
+        assert scheduler.choose(FakePool([42, 43])) == 42
+
+
+class TestReplaySchedulerUnits:
+    def test_per_link_fifo(self):
+        scheduler = ReplayScheduler([(0, 1), (0, 1)])
+        scheduler.on_submit(10, view(10, 0, 1))
+        scheduler.on_submit(11, view(11, 0, 1))
+        assert scheduler.choose(FakePool([10, 11])) == 10
+        assert scheduler.choose(FakePool([11])) == 11
+
+    def test_missing_link_raises(self):
+        scheduler = ReplayScheduler([(3, 4)])
+        scheduler.on_submit(10, view(10, 0, 1))
+        with pytest.raises(RuntimeError, match="diverged"):
+            scheduler.choose(FakePool([10]))
+
+    def test_exhausted_schedule_raises(self):
+        scheduler = ReplayScheduler([])
+        scheduler.on_submit(10, view(10, 0, 1))
+        with pytest.raises(RuntimeError, match="exhausted"):
+            scheduler.choose(FakePool([10]))
+
+
+class TestAdversaryDefaults:
+    def test_default_behavior_is_silent(self):
+        adversary = Adversary()
+        assert isinstance(adversary.behavior_factory(3), SilentBehavior)
+
+    def test_default_corruption_is_none(self):
+        adversary = Adversary()
+        assert adversary.corruption.initial_corruptions(10, 3) == set()

@@ -1,0 +1,83 @@
+"""Event tracing: ordering facts the aggregate metrics cannot express."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.crypto.pki import PKI
+from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.network import Simulation
+from repro.sim.trace import TraceEvent, TraceRecorder, attach_trace
+
+
+def run_traced_coin(n=10, f=2, seed=3):
+    pki = PKI.create(n, rng=random.Random(seed))
+    sim = Simulation(
+        n=n, f=f, pki=pki,
+        adversary=Adversary(
+            scheduler=RandomScheduler(random.Random(seed)),
+            corruption=StaticCorruption(set(range(f))),
+        ),
+        seed=seed, params=ProtocolParams(n=n, f=f),
+    )
+    trace = attach_trace(sim)
+    sim.set_protocol_all(lambda ctx: shared_coin(ctx, 0))
+    sim.run()
+    return sim, trace
+
+
+class TestTraceRecorder:
+    def test_queries(self):
+        recorder = TraceRecorder()
+        recorder.record(TraceEvent(step=0, kind="send", pid=1, peer=2))
+        recorder.record(TraceEvent(step=1, kind="deliver", pid=2, peer=1))
+        recorder.record(TraceEvent(step=1, kind="decide", pid=2, detail=0))
+        assert len(recorder) == 3
+        assert len(recorder.of_kind("send")) == 1
+        assert len(recorder.for_process(2)) == 2
+        assert recorder.first("decide", pid=2).detail == 0
+        assert recorder.first("decide", pid=7) is None
+
+    def test_render_truncates(self):
+        recorder = TraceRecorder()
+        for i in range(60):
+            recorder.record(TraceEvent(step=i, kind="send", pid=0, peer=1))
+        text = recorder.render(limit=10)
+        assert "50 more events" in text
+
+
+class TestAttachedTrace:
+    def test_counts_match_metrics(self):
+        sim, trace = run_traced_coin()
+        assert len(trace.of_kind("send")) == sim.metrics.messages_sent_total
+        assert len(trace.of_kind("deliver")) == sim.metrics.messages_delivered
+
+    def test_corruptions_recorded(self):
+        sim, trace = run_traced_coin()
+        corrupted = {event.pid for event in trace.of_kind("corrupt")}
+        assert corrupted == sim.corrupted == {0, 1}
+
+    def test_second_sent_after_first_quorum(self):
+        """Protocol-order fact: every correct process's SECOND broadcast
+        happens only after it delivered n-f FIRST messages."""
+        sim, trace = run_traced_coin()
+        quorum = sim.n - sim.f
+        for pid in sim.correct_pids:
+            second_sends = trace.sends_by(pid, "SecondMsg")
+            assert second_sends  # every correct process reaches phase 2
+            first_send_step = second_sends[0].step
+            firsts_before = [
+                event
+                for event in trace.of_kind("deliver")
+                if event.pid == pid
+                and event.message_kind == "FirstMsg"
+                and event.step <= first_send_step
+            ]
+            assert len(firsts_before) >= quorum
+
+    def test_send_events_carry_instance(self):
+        _, trace = run_traced_coin()
+        sends = trace.of_kind("send")
+        assert all(event.instance == ("shared_coin", 0) for event in sends)
