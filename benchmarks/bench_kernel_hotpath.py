@@ -1,0 +1,166 @@
+"""Kernel hot-path microbenchmark: cached vs uncached simulation kernel
+(the purity argument lives in section 6, see DESIGN.md).
+
+Times the same seed sweep (WHP coin at n=120 and full BA at n=100) twice:
+once on the optimised kernel (verification cache + instance-keyed
+wakeups), once with both disabled (``verify_cache=False`` +
+``eager_wakeups=True`` -- the pre-optimisation kernel).  Asserts
+
+* every observable RunResult field is identical between the two paths
+  (the optimisations are pure); and
+* the optimised kernel is at least 2x faster wall-clock on the combined
+  sweep, with the verification-cache hit rate reported.
+
+Also reports the parallel-sweep path (``parallel_map`` with one worker
+per CPU); on a single-CPU box that adds nothing, so speedup is asserted
+on the serial cached path only.
+
+Run standalone for CI smoke (tiny sweep, no pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py --smoke
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.core.params import ProtocolParams
+from repro.core.whp_coin import whp_coin
+from repro.experiments.parallel import derive_sweep_seeds, parallel_map
+from repro.experiments.protocols import make_runner
+from repro.sim.runner import RunResult, run_protocol, stop_when_all_decided
+
+COIN_N, COIN_F = 120, 4
+BA_N = 100
+ROOT_SEED = 2020
+
+
+def _observable(result: RunResult) -> tuple:
+    """Every kernel-determined RunResult field (metrics excluded: the
+    cache/wakeup counters legitimately differ between the two paths)."""
+    return (
+        result.n,
+        result.f,
+        result.seed,
+        result.corrupted,
+        result.returns,
+        result.decisions,
+        result.decision_depths,
+        result.notes,
+        result.words,
+        result.metrics.messages_sent_correct,
+        result.metrics.messages_sent_total,
+        result.metrics.messages_delivered,
+        result.deliveries,
+        result.deadlocked,
+        result.exhausted,
+        result.stopped_by_condition,
+    )
+
+
+def _coin_trial(seed: int, fast: bool) -> RunResult:
+    params = ProtocolParams.simulation_scale(n=COIN_N, f=COIN_F)
+    return run_protocol(
+        COIN_N, COIN_F, lambda ctx: whp_coin(ctx, 0),
+        corrupt=set(range(COIN_F)), params=params, seed=seed,
+        verify_cache=fast, eager_wakeups=not fast,
+    )
+
+
+def _ba_trial(seed: int, fast: bool) -> RunResult:
+    factory, params, f = make_runner("whp_ba", BA_N, seed=seed)
+    return run_protocol(
+        BA_N, f, factory, corrupt=set(range(f)), params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+        verify_cache=fast, eager_wakeups=not fast,
+    )
+
+
+def _timed_sweep(coin_seeds, ba_seeds, fast: bool):
+    start = time.perf_counter()
+    results = [_coin_trial(seed, fast) for seed in coin_seeds]
+    results += [_ba_trial(seed, fast) for seed in ba_seeds]
+    return time.perf_counter() - start, results
+
+
+def _hit_rate(results) -> float:
+    hits = sum(r.metrics.verification_cache_hits for r in results)
+    calls = sum(r.metrics.verifications for r in results)
+    return hits / calls if calls else 0.0
+
+
+def run_comparison(coin_trials: int, ba_trials: int, require_speedup: float | None):
+    coin_seeds = derive_sweep_seeds(ROOT_SEED, coin_trials, "hotpath-coin")
+    ba_seeds = derive_sweep_seeds(ROOT_SEED, ba_trials, "hotpath-ba")
+
+    fast_elapsed, fast_results = _timed_sweep(coin_seeds, ba_seeds, fast=True)
+    slow_elapsed, slow_results = _timed_sweep(coin_seeds, ba_seeds, fast=False)
+
+    for fast_result, slow_result in zip(fast_results, slow_results):
+        assert _observable(fast_result) == _observable(slow_result), (
+            f"cached kernel changed an observable result "
+            f"(n={fast_result.n}, seed={fast_result.seed})"
+        )
+    for slow_result in slow_results:
+        assert slow_result.metrics.verification_cache_hits == 0
+        assert slow_result.metrics.wait_skips == 0
+
+    # The parallel executor path must aggregate the identical sweep.
+    pool_results = parallel_map(
+        _coin_trial, [(seed, True) for seed in coin_seeds],
+        workers=os.cpu_count(),
+    )
+    for pooled, serial in zip(pool_results, fast_results):
+        assert _observable(pooled) == _observable(serial)
+
+    speedup = slow_elapsed / fast_elapsed if fast_elapsed else float("inf")
+    skips = sum(r.metrics.wait_skips for r in fast_results)
+    evaluations = sum(r.metrics.wait_evaluations for r in fast_results)
+    report = (
+        f"kernel hot-path: {coin_trials} whp_coin(n={COIN_N}) + "
+        f"{ba_trials} whp_ba(n={BA_N}) runs\n"
+        f"  cached+keyed : {fast_elapsed:8.2f}s  "
+        f"(verify hit rate {_hit_rate(fast_results):.3f}, "
+        f"wait evals {evaluations}, skips {skips})\n"
+        f"  uncached+eager: {slow_elapsed:7.2f}s\n"
+        f"  speedup      : {speedup:8.2f}x  (workers={os.cpu_count()})"
+    )
+    if require_speedup is not None:
+        assert speedup >= require_speedup, (
+            f"expected >= {require_speedup}x speedup, measured {speedup:.2f}x\n"
+            + report
+        )
+    return report, speedup
+
+
+def test_kernel_hotpath_speedup(benchmark, save_report):
+    from conftest import once
+
+    report, _ = once(benchmark, lambda: run_comparison(4, 2, require_speedup=2.0))
+    save_report("bench_kernel_hotpath", report)
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Compare the optimised kernel against the uncached+eager reference."
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep: equivalence checked, no timing assertion",
+    )
+    if parser.parse_args(argv).smoke:
+        # CI-sized: one small run of each shape, equivalence checked, no
+        # timing assertion (shared runners make wall-clock unreliable).
+        report, _ = run_comparison(1, 1, require_speedup=None)
+    else:
+        report, _ = run_comparison(4, 2, require_speedup=2.0)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -36,7 +36,7 @@ __all__ = ["main"]
 
 
 def _run_t1(args) -> str:
-    rows = table1.run(n=args.n or 40, seeds=range(args.seeds or 3))
+    rows = table1.run(n=args.n or 40, seeds=range(args.seeds or 3), workers=args.workers)
     return table1.format_table1(rows)
 
 
@@ -46,12 +46,16 @@ def _run_f1(args) -> str:
 
 
 def _run_e1(args) -> str:
-    points = coin_success.run(n=args.n or 24, seeds=range(args.seeds or 40))
+    points = coin_success.run(
+        n=args.n or 24, seeds=range(args.seeds or 40), workers=args.workers
+    )
     return coin_success.format_coin_success(points)
 
 
 def _run_e1b(args) -> str:
-    points = common_values.run(n=args.n or 24, seeds=range(args.seeds or 20))
+    points = common_values.run(
+        n=args.n or 24, seeds=range(args.seeds or 20), workers=args.workers
+    )
     return common_values.format_common_values(points)
 
 
@@ -61,17 +65,19 @@ def _run_e2(args) -> str:
 
 
 def _run_e3(args) -> str:
-    points = whp_coin_sweep.run(n=args.n or 120, seeds=range(args.seeds or 20))
+    points = whp_coin_sweep.run(
+        n=args.n or 120, seeds=range(args.seeds or 20), workers=args.workers
+    )
     return whp_coin_sweep.format_whp_coin(points)
 
 
 def _run_e4(args) -> str:
-    curves = scaling.run(seeds=range(args.seeds or 2))
+    curves = scaling.run(seeds=range(args.seeds or 2), workers=args.workers)
     return scaling.format_scaling(curves)
 
 
 def _run_e5(args) -> str:
-    points = rounds.run(seeds=range(args.seeds or 5))
+    points = rounds.run(seeds=range(args.seeds or 5), workers=args.workers)
     return rounds.format_rounds(points)
 
 
@@ -81,12 +87,14 @@ def _run_e6(args) -> str:
 
 
 def _run_e7(args) -> str:
-    rows = mmr_ourcoin.run(n=args.n or 25, seeds=range(args.seeds or 10))
+    rows = mmr_ourcoin.run(
+        n=args.n or 25, seeds=range(args.seeds or 10), workers=args.workers
+    )
     return mmr_ourcoin.format_mmr_ourcoin(rows)
 
 
 def _run_e8(args) -> str:
-    cells = safety.run(n=args.n or 40, seeds=range(args.seeds or 3))
+    cells = safety.run(n=args.n or 40, seeds=range(args.seeds or 3), workers=args.workers)
     return safety.format_safety(cells)
 
 
@@ -133,6 +141,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=None, help="system size override")
     parser.add_argument("--seeds", type=int, default=None, help="seed count override")
     parser.add_argument("--quick", action="store_true", help="smoke-scale parameters")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel sweep workers (default: serial, or REPRO_WORKERS; "
+        "0 = one per CPU)",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":

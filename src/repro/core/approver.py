@@ -184,5 +184,7 @@ def approve(
                     return frozenset(ok_values)
         return None
 
-    result = yield Wait(step, description=f"approve{instance}")
+    result = yield Wait(
+        step, description=f"approve{instance}", instances={instance}
+    )
     return result

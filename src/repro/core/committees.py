@@ -14,6 +14,7 @@ independent committees, exactly as Figure 1 of the paper illustrates.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Hashable
 
 from repro.crypto.hashing import encode
@@ -31,9 +32,28 @@ __all__ = [
 ]
 
 
-def committee_seed(instance: Hashable, role: Hashable) -> bytes:
-    """Canonical VRF input for the committee named ``(instance, role)``."""
+@lru_cache(maxsize=1 << 16)
+def _committee_seed_cached(instance: Hashable, role: Hashable) -> bytes:
     return encode("committee", instance, role)
+
+
+def committee_seed(instance: Hashable, role: Hashable) -> bytes:
+    """Canonical VRF input for the committee named ``(instance, role)``.
+
+    Pure in its arguments, and evaluated once per message per receiver on
+    the validation hot path, so the canonical encoding is memoized.
+    Unhashable names (never produced by the provided protocols) fall back
+    to direct encoding.
+    """
+    try:
+        return _committee_seed_cached(instance, role)
+    except TypeError:
+        return encode("committee", instance, role)
+
+
+@lru_cache(maxsize=1 << 12)
+def _sampling_threshold_cached(params: ProtocolParams) -> int:
+    return int(params.sample_probability * (1 << VRF_OUTPUT_BITS))
 
 
 def sampling_threshold(params: ProtocolParams) -> int:
@@ -41,9 +61,13 @@ def sampling_threshold(params: ProtocolParams) -> int:
 
     The VRF output is uniform in [0, 2**VRF_OUTPUT_BITS), so comparing to
     ``p * 2**VRF_OUTPUT_BITS`` samples each process with probability
-    ``p = λ/n`` -- the primitive's contract.
+    ``p = λ/n`` -- the primitive's contract.  ``ProtocolParams`` is frozen
+    (hashable), so the conversion is memoized per parameter set.
     """
-    return int(params.sample_probability * (1 << VRF_OUTPUT_BITS))
+    try:
+        return _sampling_threshold_cached(params)
+    except TypeError:
+        return int(params.sample_probability * (1 << VRF_OUTPUT_BITS))
 
 
 def sample(

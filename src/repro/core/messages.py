@@ -11,6 +11,7 @@ accordingly, which is where the λ² in the paper's O(n λ²) comes from.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Hashable
 
 from repro.crypto.hashing import encode
@@ -33,13 +34,23 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=1 << 16)
+def _coin_value_alpha_cached(instance: Hashable) -> bytes:
+    return encode("coin-value", instance)
+
+
 def coin_value_alpha(instance: Hashable) -> bytes:
     """VRF input for a process's random coin value in ``instance``.
 
     This is the ``VRF_i(r)`` of Algorithms 1 and 2, domain-separated from
-    committee sampling so the two uses can never alias.
+    committee sampling so the two uses can never alias.  Pure and on the
+    validation hot path, so memoized (with a fallback for unhashable
+    instance names).
     """
-    return encode("coin-value", instance)
+    try:
+        return _coin_value_alpha_cached(instance)
+    except TypeError:
+        return encode("coin-value", instance)
 
 
 @dataclass(frozen=True)
@@ -139,9 +150,22 @@ class InitMsg(Message):
         return 1 + 2
 
 
-def echo_signing_bytes(instance: Hashable, value: object) -> bytes:
-    """The bytes an echo-committee member signs; ok-justifications verify them."""
+@lru_cache(maxsize=1 << 16)
+def _echo_signing_bytes_cached(instance: Hashable, value: object) -> bytes:
     return encode("approver-echo", instance, value)
+
+
+def echo_signing_bytes(instance: Hashable, value: object) -> bytes:
+    """The bytes an echo-committee member signs; ok-justifications verify them.
+
+    Memoized: every ok-justification check re-derives these bytes, and the
+    (instance, value) domain per run is tiny.  Unhashable values fall back
+    to direct encoding.
+    """
+    try:
+        return _echo_signing_bytes_cached(instance, value)
+    except TypeError:
+        return encode("approver-echo", instance, value)
 
 
 @dataclass

@@ -114,7 +114,9 @@ def multivalued_agreement(
             return dict(vals)
         return None
 
-    quorum_vals = yield Wait(val_quorum, description=f"mv-val{val_instance}")
+    quorum_vals = yield Wait(
+        val_quorum, description=f"mv-val{val_instance}", instances={val_instance}
+    )
     distinct = {v for v, _ in quorum_vals.values()}
     if len(distinct) == 1:
         candidate = next(iter(distinct))
@@ -165,7 +167,9 @@ def multivalued_agreement(
                 ctx.decide(NO_DECISION)
             else:
                 decided_value = yield Wait(
-                    valid_cert, description=f"mv-cert{cert_instance}"
+                    valid_cert,
+                    description=f"mv-cert{cert_instance}",
+                    instances={cert_instance},
                 )
                 ctx.notes["decision_round"] = round_id
                 ctx.decide(decided_value)

@@ -90,5 +90,7 @@ def shared_coin(
             return state["min"].value & 1
         return None
 
-    result = yield Wait(step, description=f"shared_coin{instance}")
+    result = yield Wait(
+        step, description=f"shared_coin{instance}", instances={instance}
+    )
     return result

@@ -121,5 +121,7 @@ def whp_coin(
             return state["min"].value & 1
         return None
 
-    result = yield Wait(step, description=f"whp_coin{instance}")
+    result = yield Wait(
+        step, description=f"whp_coin{instance}", instances={instance}
+    )
     return result

@@ -6,6 +6,18 @@ bundles a VRF keypair and a signature keypair per process and hands out
 private keys only for the process that owns them (the simulator enforces
 this capability discipline even for Byzantine behaviours -- corruption
 grants the adversary that process's keys, nothing more).
+
+Verification is memoized.  ``vrf_verify``/``signature_verify`` are pure
+functions of ``(process_id, alpha, proof)`` -- the public keys are fixed at
+setup and both schemes are deterministic -- so a proof broadcast to ``n``
+receivers needs to be checked once, not ``n`` times.  The cache stores
+positive *and* negative verdicts (an invalid proof stays invalid), keeps
+hit/miss counters that the simulation kernel snapshots into its
+:class:`~repro.sim.metrics.MetricsRecorder`, and falls back to direct
+verification for exotic unhashable proof objects.  Disable it with
+``verify_cache=False`` (or :meth:`PKI.set_verify_cache`) to run the
+uncached path, e.g. for the equivalence checks in
+``benchmarks/bench_kernel_hotpath.py``.
 """
 
 from __future__ import annotations
@@ -24,6 +36,15 @@ from repro.crypto.vrf import ECVRF, RSAFDHVRF, SimulatedVRF, VRFOutput, VRFSchem
 __all__ = ["PKI"]
 
 
+# Flush-on-overflow bound for the verification caches.  Far above what a
+# single BA run produces at simulation scale; the flush keeps a PKI shared
+# across thousands of runs from growing without bound, deterministically.
+_VERIFY_CACHE_MAX_ENTRIES = 1 << 20
+
+# Sentinel distinguishing "not cached" from a cached ``False`` verdict.
+_MISS = object()
+
+
 class PKI:
     """Per-run trusted setup: VRF and signature keys for ``n`` processes."""
 
@@ -33,6 +54,7 @@ class PKI:
         vrf_scheme: VRFScheme,
         signature_scheme: SignatureScheme,
         rng: random.Random,
+        verify_cache: bool = True,
     ) -> None:
         if n < 1:
             raise ValueError("need at least one process")
@@ -43,6 +65,15 @@ class PKI:
         self._vrf_public: list[Any] = []
         self._sig_private: list[Any] = []
         self._sig_public: list[Any] = []
+        self.verify_cache_enabled = verify_cache
+        self._vrf_cache: dict[tuple, bool] = {}
+        self._sig_cache: dict[tuple, bool] = {}
+        # Monotone counters; the kernel reports per-run deltas of these
+        # through MetricsRecorder (see Simulation.run).
+        self.vrf_verifications = 0
+        self.vrf_cache_hits = 0
+        self.sig_verifications = 0
+        self.sig_cache_hits = 0
         for _ in range(n):
             vrf_sk, vrf_pk = vrf_scheme.keygen(rng)
             sig_sk, sig_pk = signature_scheme.keygen(rng)
@@ -58,6 +89,7 @@ class PKI:
         backend: str = "simulated",
         rng: random.Random | None = None,
         modulus_bits: int = 512,
+        verify_cache: bool = True,
     ) -> "PKI":
         """Build a PKI with matched VRF/signature backends.
 
@@ -65,15 +97,39 @@ class PKI:
         simulation sweeps), ``"rsa"`` (real RSA-FDH VRF + signatures), or
         ``"ec"`` (real secp256k1 ECVRF + Schnorr signatures -- the VRF
         family the paper's citations and deployed systems use).
+        ``verify_cache=False`` disables verification memoization.
         """
         rng = rng or random.Random()
         if backend == "simulated":
-            return cls(n, SimulatedVRF(), SimulatedSignatureScheme(), rng)
+            return cls(n, SimulatedVRF(), SimulatedSignatureScheme(), rng,
+                       verify_cache=verify_cache)
         if backend == "rsa":
-            return cls(n, RSAFDHVRF(modulus_bits), RSASignatureScheme(modulus_bits), rng)
+            return cls(n, RSAFDHVRF(modulus_bits), RSASignatureScheme(modulus_bits),
+                       rng, verify_cache=verify_cache)
         if backend == "ec":
-            return cls(n, ECVRF(), SchnorrSignatureScheme(), rng)
+            return cls(n, ECVRF(), SchnorrSignatureScheme(), rng,
+                       verify_cache=verify_cache)
         raise ValueError(f"unknown PKI backend {backend!r}")
+
+    # -- verification cache administration -----------------------------------
+
+    def set_verify_cache(self, enabled: bool) -> None:
+        """Switch memoized verification on or off (clears stored verdicts)."""
+        self.verify_cache_enabled = enabled
+        self.clear_verify_cache()
+
+    def clear_verify_cache(self) -> None:
+        self._vrf_cache.clear()
+        self._sig_cache.clear()
+
+    def verification_counters(self) -> tuple[int, int, int, int]:
+        """``(vrf_calls, vrf_hits, sig_calls, sig_hits)`` since construction."""
+        return (
+            self.vrf_verifications,
+            self.vrf_cache_hits,
+            self.sig_verifications,
+            self.sig_cache_hits,
+        )
 
     # -- key access ---------------------------------------------------------
 
@@ -92,15 +148,62 @@ class PKI:
     # -- convenience wrappers (public operations) ----------------------------
 
     def vrf_verify(self, process_id: int, alpha: bytes, output: VRFOutput) -> bool:
-        """Verify that ``output`` is process ``process_id``'s VRF value on ``alpha``."""
+        """Verify that ``output`` is process ``process_id``'s VRF value on ``alpha``.
+
+        Memoized on ``(process_id, alpha, value, proof)`` when the cache is
+        enabled; soundness rests on verification being a pure function of
+        that key (fixed public keys, deterministic schemes).
+        """
         if not 0 <= process_id < self.n:
             return False
+        self.vrf_verifications += 1
+        if self.verify_cache_enabled:
+            try:
+                key = (process_id, alpha, output.value, output.proof)
+                cached = self._vrf_cache.get(key, _MISS)
+            except (TypeError, AttributeError):
+                # Unhashable or malformed proof object (Byzantine input):
+                # verify directly, never cache.
+                key = None
+                cached = _MISS
+            if cached is not _MISS:
+                self.vrf_cache_hits += 1
+                return cached
+            result = self.vrf_scheme.verify(self._vrf_public[process_id], alpha, output)
+            if key is not None:
+                if len(self._vrf_cache) >= _VERIFY_CACHE_MAX_ENTRIES:
+                    self._vrf_cache.clear()
+                self._vrf_cache[key] = result
+            return result
         return self.vrf_scheme.verify(self._vrf_public[process_id], alpha, output)
 
     def signature_verify(self, process_id: int, message: bytes, signature: Any) -> bool:
-        """Verify process ``process_id``'s signature on ``message``."""
+        """Verify process ``process_id``'s signature on ``message``.
+
+        Memoized on ``(process_id, message, signature)`` -- same purity
+        argument as :meth:`vrf_verify`.
+        """
         if not 0 <= process_id < self.n:
             return False
+        self.sig_verifications += 1
+        if self.verify_cache_enabled:
+            try:
+                key = (process_id, message, signature)
+                cached = self._sig_cache.get(key, _MISS)
+            except TypeError:
+                key = None
+                cached = _MISS
+            if cached is not _MISS:
+                self.sig_cache_hits += 1
+                return cached
+            result = self.signature_scheme.verify(
+                self._sig_public[process_id], message, signature
+            )
+            if key is not None:
+                if len(self._sig_cache) >= _VERIFY_CACHE_MAX_ENTRIES:
+                    self._sig_cache.clear()
+                self._sig_cache[key] = result
+            return result
         return self.signature_scheme.verify(
             self._sig_public[process_id], message, signature
         )

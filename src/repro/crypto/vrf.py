@@ -51,7 +51,14 @@ VRF_OUTPUT_BITS = 256
 
 @dataclass(frozen=True)
 class VRFOutput:
-    """A VRF evaluation: the pseudorandom value and its correctness proof."""
+    """A VRF evaluation: the pseudorandom value and its correctness proof.
+
+    ``proof`` is hashable in every provided scheme (bytes for the simulated
+    VRF, an int for RSA-FDH, a tuple of ints for ECVRF); the PKI's
+    verification cache keys on ``(process_id, alpha, value, proof)`` and
+    relies on this.  Custom schemes with unhashable proofs still work --
+    their verifications just bypass the cache.
+    """
 
     value: int
     proof: Any

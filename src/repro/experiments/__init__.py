@@ -25,11 +25,20 @@ Modules: ``table1``, ``fig1``, ``coin_success``, ``common_values``,
 ``committee_bounds``, ``whp_coin_sweep``, ``scaling``, ``rounds``,
 ``ablation``, ``mmr_ourcoin``, ``safety``, ``hybrid_fallback``,
 ``justification_ablation``; plus ``protocols`` (the registry),
+``parallel`` (deterministic multi-seed sweep execution),
 ``tables``/``ascii_plot`` (rendering) and ``store`` (JSON persistence
 with drift comparison).
 """
 
 from repro.experiments.tables import format_table
+from repro.experiments.parallel import derive_sweep_seeds, parallel_map, resolve_workers
 from repro.experiments.protocols import PROTOCOLS, make_runner
 
-__all__ = ["PROTOCOLS", "format_table", "make_runner"]
+__all__ = [
+    "PROTOCOLS",
+    "derive_sweep_seeds",
+    "format_table",
+    "make_runner",
+    "parallel_map",
+    "resolve_workers",
+]

@@ -17,6 +17,7 @@ from repro.analysis.bounds import shared_coin_success_bound
 from repro.analysis.stats import BernoulliEstimate
 from repro.core.params import ProtocolParams
 from repro.core.shared_coin import shared_coin
+from repro.experiments.parallel import parallel_map
 from repro.experiments.tables import format_table
 from repro.sim.runner import run_protocol
 
@@ -32,31 +33,37 @@ class CoinPoint:
     paper_bound: float  # per-outcome rate rho; agreement >= 2*rho
 
 
-def run_point(n: int, f: int, seeds) -> CoinPoint:
+def _trial(n: int, f: int, seed: int) -> bool:
+    """One seeded run; top-level so sweep workers can pickle it."""
     params = ProtocolParams(n=n, f=f)
-    agreements = 0
-    trials = 0
-    for seed in seeds:
-        trials += 1
-        result = run_protocol(
-            n, f, lambda ctx: shared_coin(ctx, 0),
-            corrupt=set(range(f)), params=params, seed=seed,
-        )
-        if result.live and len(result.returned_values) == 1:
-            agreements += 1
+    result = run_protocol(
+        n, f, lambda ctx: shared_coin(ctx, 0),
+        corrupt=set(range(f)), params=params, seed=seed,
+    )
+    return result.live and len(result.returned_values) == 1
+
+
+def run_point(n: int, f: int, seeds, workers: int | None = None) -> CoinPoint:
+    params = ProtocolParams(n=n, f=f)
+    outcomes = parallel_map(_trial, [(n, f, seed) for seed in seeds], workers=workers)
     return CoinPoint(
         n=n,
         f=f,
         epsilon=params.epsilon,
-        estimate=BernoulliEstimate(successes=agreements, trials=trials),
+        estimate=BernoulliEstimate(successes=sum(outcomes), trials=len(outcomes)),
         paper_bound=shared_coin_success_bound(params.epsilon),
     )
 
 
-def run(n: int = 24, f_values=(0, 1, 2, 3, 4, 5, 6, 7), seeds=range(40)) -> list[CoinPoint]:
+def run(
+    n: int = 24,
+    f_values=(0, 1, 2, 3, 4, 5, 6, 7),
+    seeds=range(40),
+    workers: int | None = None,
+) -> list[CoinPoint]:
     # Only f < n/3 keeps epsilon in the protocol's domain; silently
     # dropping out-of-range sweep points keeps small-n CLI runs usable.
-    return [run_point(n, f, seeds) for f in f_values if f < n / 3]
+    return [run_point(n, f, seeds, workers=workers) for f in f_values if f < n / 3]
 
 
 def format_coin_success(points: list[CoinPoint]) -> str:

@@ -22,6 +22,7 @@ from repro.core.params import ProtocolParams
 from repro.core.shared_coin import shared_coin
 from repro.crypto.hashing import derive_seed
 from repro.crypto.pki import PKI
+from repro.experiments.parallel import parallel_map
 from repro.experiments.tables import format_table
 from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
 from repro.sim.network import Simulation
@@ -98,8 +99,8 @@ def run_once(n: int, f: int, seed: int) -> CommonValuesRun:
     return CommonValuesRun(c=c, min_was_common=min_common, agreed=len(outputs) == 1)
 
 
-def run_point(n: int, f: int, seeds) -> CommonValuesPoint:
-    runs = [run_once(n, f, seed) for seed in seeds]
+def run_point(n: int, f: int, seeds, workers: int | None = None) -> CommonValuesPoint:
+    runs = parallel_map(run_once, [(n, f, seed) for seed in seeds], workers=workers)
     params = ProtocolParams(n=n, f=f)
     return CommonValuesPoint(
         n=n,
@@ -114,8 +115,13 @@ def run_point(n: int, f: int, seeds) -> CommonValuesPoint:
     )
 
 
-def run(n: int = 24, f_values=(0, 2, 4, 6), seeds=range(20)) -> list[CommonValuesPoint]:
-    return [run_point(n, f, seeds) for f in f_values if f < n / 3]
+def run(
+    n: int = 24,
+    f_values=(0, 2, 4, 6),
+    seeds=range(20),
+    workers: int | None = None,
+) -> list[CommonValuesPoint]:
+    return [run_point(n, f, seeds, workers=workers) for f in f_values if f < n / 3]
 
 
 def format_common_values(points: list[CommonValuesPoint]) -> str:

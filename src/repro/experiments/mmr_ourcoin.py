@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.protocols import make_runner
 from repro.experiments.tables import format_table
 from repro.sim.runner import run_protocol, stop_when_all_decided
@@ -21,6 +22,27 @@ from repro.sim.runner import run_protocol, stop_when_all_decided
 __all__ = ["MMRVariantRow", "format_mmr_ourcoin", "run"]
 
 VARIANTS = ("mmr", "mmr+alg1", "cachin")
+
+
+def _trial(name: str, n: int, seed: int) -> tuple[int, tuple[int, int | None] | None]:
+    """One seeded run; top-level so sweep workers can pickle it.
+
+    Returns ``(f_used, (words, max_round) | None)``.
+    """
+    factory, params, f = make_runner(name, n, seed=seed)
+    result = run_protocol(
+        n, f, factory, corrupt=set(range(f)), params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+    )
+    if not (result.live and result.all_correct_decided):
+        return f, None
+    decision_rounds = [
+        notes["decision_round"] + 1
+        for notes in result.notes.values()
+        if "decision_round" in notes
+    ]
+    max_round = max(decision_rounds) if decision_rounds else None
+    return f, (result.words, max_round)
 
 
 @dataclass(frozen=True)
@@ -35,31 +57,25 @@ class MMRVariantRow:
     mean_words: float
 
 
-def run_variant(name: str, n: int, seeds) -> MMRVariantRow:
+def run_variant(
+    name: str, n: int, seeds, workers: int | None = None
+) -> MMRVariantRow:
     rounds: list[int] = []
     words: list[int] = []
     completed = 0
-    trials = 0
-    f_used = 0
-    for seed in seeds:
-        trials += 1
-        factory, params, f = make_runner(name, n, seed=seed)
-        f_used = f
-        result = run_protocol(
-            n, f, factory, corrupt=set(range(f)), params=params,
-            stop_condition=stop_when_all_decided, seed=seed,
-        )
-        if not (result.live and result.all_correct_decided):
+    outcomes = parallel_map(
+        _trial, [(name, n, seed) for seed in seeds], workers=workers
+    )
+    trials = len(outcomes)
+    f_used = outcomes[-1][0] if outcomes else 0
+    for _, measured in outcomes:
+        if measured is None:
             continue
         completed += 1
-        words.append(result.words)
-        decision_rounds = [
-            notes["decision_round"] + 1
-            for notes in result.notes.values()
-            if "decision_round" in notes
-        ]
-        if decision_rounds:
-            rounds.append(max(decision_rounds))
+        run_words, max_round = measured
+        words.append(run_words)
+        if max_round is not None:
+            rounds.append(max_round)
     return MMRVariantRow(
         variant=name,
         n=n,
@@ -72,8 +88,10 @@ def run_variant(name: str, n: int, seeds) -> MMRVariantRow:
     )
 
 
-def run(n: int = 25, seeds=range(10), variants=VARIANTS) -> list[MMRVariantRow]:
-    return [run_variant(name, n, seeds) for name in variants]
+def run(
+    n: int = 25, seeds=range(10), variants=VARIANTS, workers: int | None = None
+) -> list[MMRVariantRow]:
+    return [run_variant(name, n, seeds, workers=workers) for name in variants]
 
 
 def format_mmr_ourcoin(rows: list[MMRVariantRow]) -> str:

@@ -12,11 +12,32 @@ from dataclasses import dataclass
 from statistics import mean
 
 from repro.core.params import ProtocolParams
+from repro.experiments.parallel import parallel_map
 from repro.experiments.protocols import make_runner
 from repro.experiments.tables import format_table
 from repro.sim.runner import run_protocol, stop_when_all_decided
 
 __all__ = ["RoundsPoint", "format_rounds", "run"]
+
+
+def _trial(protocol: str, n: int, seed: int) -> tuple[int, list[int] | None]:
+    """One seeded run; top-level so sweep workers can pickle it.
+
+    Returns ``(f_used, deciding_rounds | None)`` (None = incomplete run).
+    """
+    factory, params, f = make_runner(protocol, n, seed=seed)
+    result = run_protocol(
+        n, f, factory, corrupt=set(range(f)), params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+    )
+    if not (result.live and result.all_correct_decided):
+        return f, None
+    rounds = [
+        notes["decision_round"] + 1
+        for notes in result.notes.values()
+        if "decision_round" in notes
+    ]
+    return f, rounds
 
 
 @dataclass(frozen=True)
@@ -30,28 +51,21 @@ class RoundsPoint:
     histogram: dict[int, int]  # deciding round (1-based) -> process count
 
 
-def run_point(n: int, seeds, protocol: str = "whp_ba") -> RoundsPoint:
+def run_point(
+    n: int, seeds, protocol: str = "whp_ba", workers: int | None = None
+) -> RoundsPoint:
     histogram: Counter = Counter()
     per_run_max: list[int] = []
     completed = 0
-    trials = 0
-    f_used = 0
-    for seed in seeds:
-        trials += 1
-        factory, params, f = make_runner(protocol, n, seed=seed)
-        f_used = f
-        result = run_protocol(
-            n, f, factory, corrupt=set(range(f)), params=params,
-            stop_condition=stop_when_all_decided, seed=seed,
-        )
-        if not (result.live and result.all_correct_decided):
+    outcomes = parallel_map(
+        _trial, [(protocol, n, seed) for seed in seeds], workers=workers
+    )
+    trials = len(outcomes)
+    f_used = outcomes[-1][0] if outcomes else 0
+    for _, rounds in outcomes:
+        if rounds is None:
             continue
         completed += 1
-        rounds = [
-            notes["decision_round"] + 1
-            for notes in result.notes.values()
-            if "decision_round" in notes
-        ]
         histogram.update(rounds)
         if rounds:
             per_run_max.append(max(rounds))
@@ -66,8 +80,13 @@ def run_point(n: int, seeds, protocol: str = "whp_ba") -> RoundsPoint:
     )
 
 
-def run(n_values=(40, 80, 160), seeds=range(8), protocol: str = "whp_ba") -> list[RoundsPoint]:
-    return [run_point(n, seeds, protocol) for n in n_values]
+def run(
+    n_values=(40, 80, 160),
+    seeds=range(8),
+    protocol: str = "whp_ba",
+    workers: int | None = None,
+) -> list[RoundsPoint]:
+    return [run_point(n, seeds, protocol, workers=workers) for n in n_values]
 
 
 def format_rounds(points: list[RoundsPoint]) -> str:

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.hashing import derive_seed
+from repro.experiments.parallel import parallel_map
 from repro.experiments.protocols import make_runner
 from repro.experiments.tables import format_table
 from repro.sim.adversary import (
@@ -60,32 +61,58 @@ class SafetyCell:
     validity_violations: int
 
 
+def _trial(
+    protocol: str, strategy: str, n: int, seed: int, unanimous_value: int | None
+) -> tuple[int, tuple[bool, bool] | None]:
+    """One seeded run; top-level so sweep workers can pickle it.
+
+    Returns ``(f_used, (agreement_violated, validity_violated) | None)``.
+    """
+    value_fn = (
+        (lambda ctx: unanimous_value) if unanimous_value is not None
+        else (lambda ctx: ctx.pid % 2)
+    )
+    factory, params, f = make_runner(protocol, n, seed=seed, value_fn=value_fn)
+    result = run_protocol(
+        n, f, factory, adversary=_make_adversary(strategy, n, f, seed),
+        params=params, stop_condition=stop_when_all_decided, seed=seed,
+    )
+    if not (result.live and result.all_correct_decided):
+        return f, None
+    agreement_violated = not result.agreement
+    validity_violated = (
+        unanimous_value is not None and result.decided_values != {unanimous_value}
+    )
+    return f, (agreement_violated, validity_violated)
+
+
 def run_cell(
-    protocol: str, strategy: str, n: int, seeds, unanimous_value: int | None = None
+    protocol: str,
+    strategy: str,
+    n: int,
+    seeds,
+    unanimous_value: int | None = None,
+    workers: int | None = None,
 ) -> SafetyCell:
     """One grid cell.  ``unanimous_value`` switches inputs from the
     split pattern to all-same (which arms the validity check)."""
     terminated = agreement_violations = validity_violations = 0
-    trials = 0
-    f_used = 0
-    for seed in seeds:
-        trials += 1
-        value_fn = (
-            (lambda ctx: unanimous_value) if unanimous_value is not None
-            else (lambda ctx: ctx.pid % 2)
-        )
-        factory, params, f = make_runner(protocol, n, seed=seed, value_fn=value_fn)
-        f_used = f
-        result = run_protocol(
-            n, f, factory, adversary=_make_adversary(strategy, n, f, seed),
-            params=params, stop_condition=stop_when_all_decided, seed=seed,
-        )
-        if result.live and result.all_correct_decided:
-            terminated += 1
-            if not result.agreement:
-                agreement_violations += 1
-            if unanimous_value is not None and result.decided_values != {unanimous_value}:
-                validity_violations += 1
+    outcomes = parallel_map(
+        _trial,
+        [(protocol, strategy, n, seed, unanimous_value) for seed in seeds],
+        workers=workers,
+    )
+    trials = len(outcomes)
+    f_used = outcomes[-1][0] if outcomes else 0
+    for _, violations in outcomes:
+        if violations is None:
+            continue
+        terminated += 1
+        agreement_violated, validity_violated = violations
+        if agreement_violated:
+            agreement_violations += 1
+        if validity_violated:
+            validity_violations += 1
     return SafetyCell(
         protocol=protocol,
         strategy=strategy,
@@ -103,12 +130,17 @@ def run(
     strategies=STRATEGIES,
     n: int = 40,
     seeds=range(5),
+    workers: int | None = None,
 ) -> list[SafetyCell]:
     cells = []
     for protocol in protocols:
         for strategy in strategies:
-            cells.append(run_cell(protocol, strategy, n, seeds))
-            cells.append(run_cell(protocol, strategy, n, seeds, unanimous_value=1))
+            cells.append(run_cell(protocol, strategy, n, seeds, workers=workers))
+            cells.append(
+                run_cell(
+                    protocol, strategy, n, seeds, unanimous_value=1, workers=workers
+                )
+            )
     return cells
 
 

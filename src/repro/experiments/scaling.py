@@ -16,11 +16,46 @@ from statistics import mean
 
 from repro.analysis.complexity import fit_loglog_slope, word_complexity_model
 from repro.experiments.ascii_plot import loglog_plot
+from repro.experiments.parallel import parallel_map
 from repro.experiments.protocols import make_runner
 from repro.experiments.tables import format_table
 from repro.sim.runner import run_protocol, stop_when_all_decided
 
 __all__ = ["ScalingCurve", "format_scaling", "run"]
+
+
+def _trial(
+    name: str,
+    n: int,
+    f: int | None,
+    seed: int,
+    whp_sigmas: float,
+    max_deliveries: int,
+) -> tuple[float | None, tuple[int, int, int] | None]:
+    """One seeded run; top-level so sweep workers can pickle it.
+
+    The protocol closure is rebuilt inside the worker from primitive
+    arguments (closures themselves do not pickle).  Returns
+    ``(lam, (words, messages, rounds) | None)``.
+    """
+    factory, params, f_used = make_runner(
+        name, n, f=f, seed=seed, whp_sigmas=whp_sigmas
+    )
+    lam = params.lam if params.lam is not None else 8 * math.log(n)
+    result = run_protocol(
+        n, f_used, factory, corrupt=set(range(f_used)), params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+        max_deliveries=max_deliveries,
+    )
+    if not (result.live and result.all_correct_decided):
+        return lam, None
+    decision_rounds = [
+        notes["decision_round"] + 1
+        for notes in result.notes.values()
+        if "decision_round" in notes
+    ]
+    rounds = max(decision_rounds) if decision_rounds else 1
+    return lam, (result.words, result.metrics.messages_sent_correct, rounds)
 
 
 @dataclass(frozen=True)
@@ -43,6 +78,7 @@ def run_curve(
     max_deliveries: int = 8_000_000,
     f: int | None = None,
     whp_sigmas: float = 3.0,
+    workers: int | None = None,
 ) -> ScalingCurve:
     words_per_n: list[float] = []
     messages_per_n: list[float] = []
@@ -51,29 +87,16 @@ def run_curve(
                                   "mmr_shared_coin" if name == "mmr+alg1" else name)
     model_points = []
     for n in n_values:
-        words: list[int] = []
-        messages: list[int] = []
-        rounds: list[int] = []
-        lam = None
-        for seed in seeds:
-            factory, params, f_used = make_runner(
-                name, n, f=f, seed=seed, whp_sigmas=whp_sigmas
-            )
-            lam = params.lam if params.lam is not None else 8 * math.log(n)
-            result = run_protocol(
-                n, f_used, factory, corrupt=set(range(f_used)), params=params,
-                stop_condition=stop_when_all_decided, seed=seed,
-                max_deliveries=max_deliveries,
-            )
-            if result.live and result.all_correct_decided:
-                words.append(result.words)
-                messages.append(result.metrics.messages_sent_correct)
-                decision_rounds = [
-                    notes["decision_round"] + 1
-                    for notes in result.notes.values()
-                    if "decision_round" in notes
-                ]
-                rounds.append(max(decision_rounds) if decision_rounds else 1)
+        outcomes = parallel_map(
+            _trial,
+            [(name, n, f, seed, whp_sigmas, max_deliveries) for seed in seeds],
+            workers=workers,
+        )
+        lam = outcomes[-1][0] if outcomes else None
+        stats = [measured for _, measured in outcomes if measured is not None]
+        words = [w for w, _, _ in stats]
+        messages = [m for _, m, _ in stats]
+        rounds = [r for _, _, r in stats]
         words_per_n.append(mean(words) if words else float("nan"))
         messages_per_n.append(mean(messages) if messages else float("nan"))
         rounds_per_n.append(mean(rounds) if rounds else float("nan"))
@@ -113,6 +136,7 @@ def run(
     protocols=("mmr+alg1", "cachin", "whp_ba"),
     f: int | None = None,
     whp_sigmas: float = 3.0,
+    workers: int | None = None,
 ) -> list[ScalingCurve]:
     """Sweep n for each protocol.
 
@@ -125,7 +149,7 @@ def run(
     the resilience-stressed configurations live in T1/E8 instead.
     """
     return [
-        run_curve(name, n_values, seeds, f=f, whp_sigmas=whp_sigmas)
+        run_curve(name, n_values, seeds, f=f, whp_sigmas=whp_sigmas, workers=workers)
         for name in protocols
     ]
 

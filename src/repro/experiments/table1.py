@@ -11,11 +11,36 @@ from __future__ import annotations
 from dataclasses import dataclass
 from statistics import mean
 
+from repro.experiments.parallel import parallel_map
 from repro.experiments.protocols import PROTOCOLS, make_runner
 from repro.experiments.tables import format_table
 from repro.sim.runner import run_protocol, stop_when_all_decided
 
 __all__ = ["Table1Row", "format_table1", "run"]
+
+
+def _trial(
+    name: str, n: int, seed: int, max_deliveries: int
+) -> tuple[int, tuple[bool, int, int, float | None] | None]:
+    """One seeded run; top-level so sweep workers can pickle it.
+
+    Returns ``(f_used, (agreed, words, duration, max_round) | None)``.
+    """
+    factory, params, f = make_runner(name, n, seed=seed)
+    result = run_protocol(
+        n, f, factory, corrupt=set(range(f)), params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+        max_deliveries=max_deliveries,
+    )
+    if not (result.live and result.all_correct_decided):
+        return f, None
+    decision_rounds = [
+        notes["decision_round"] + 1
+        for notes in result.notes.values()
+        if "decision_round" in notes
+    ]
+    max_round = max(decision_rounds) if decision_rounds else None
+    return f, (result.agreement, result.words, result.duration, max_round)
 
 # The paper's analytic claims per row (n > x*f, word complexity class).
 PAPER_CLAIMS = {
@@ -42,36 +67,36 @@ class Table1Row:
     mean_rounds: float
 
 
-def run_row(name: str, n: int, seeds, max_deliveries: int = 2_000_000) -> Table1Row:
+def run_row(
+    name: str,
+    n: int,
+    seeds,
+    max_deliveries: int = 2_000_000,
+    workers: int | None = None,
+) -> Table1Row:
     """Run one protocol at its operating point over the given seeds."""
     terminated = agreed = 0
     words: list[int] = []
     durations: list[int] = []
     rounds: list[float] = []
-    trials = 0
-    f_used = 0
-    for seed in seeds:
-        trials += 1
-        factory, params, f = make_runner(name, n, seed=seed)
-        f_used = f
-        result = run_protocol(
-            n, f, factory, corrupt=set(range(f)), params=params,
-            stop_condition=stop_when_all_decided, seed=seed,
-            max_deliveries=max_deliveries,
-        )
-        if result.live and result.all_correct_decided:
-            terminated += 1
-            if result.agreement:
-                agreed += 1
-            words.append(result.words)
-            durations.append(result.duration)
-            decision_rounds = [
-                notes["decision_round"] + 1
-                for notes in result.notes.values()
-                if "decision_round" in notes
-            ]
-            if decision_rounds:
-                rounds.append(max(decision_rounds))
+    outcomes = parallel_map(
+        _trial,
+        [(name, n, seed, max_deliveries) for seed in seeds],
+        workers=workers,
+    )
+    trials = len(outcomes)
+    f_used = outcomes[-1][0] if outcomes else 0
+    for _, measured in outcomes:
+        if measured is None:
+            continue
+        run_agreed, run_words, run_duration, max_round = measured
+        terminated += 1
+        if run_agreed:
+            agreed += 1
+        words.append(run_words)
+        durations.append(run_duration)
+        if max_round is not None:
+            rounds.append(max_round)
     return Table1Row(
         protocol=name,
         n=n,
@@ -85,9 +110,11 @@ def run_row(name: str, n: int, seeds, max_deliveries: int = 2_000_000) -> Table1
     )
 
 
-def run(n: int = 45, seeds=range(5), protocols=PROTOCOLS) -> list[Table1Row]:
+def run(
+    n: int = 45, seeds=range(5), protocols=PROTOCOLS, workers: int | None = None
+) -> list[Table1Row]:
     """Regenerate Table 1 at system size ``n`` over ``seeds``."""
-    return [run_row(name, n, seeds) for name in protocols]
+    return [run_row(name, n, seeds, workers=workers) for name in protocols]
 
 
 def format_table1(rows: list[Table1Row]) -> str:

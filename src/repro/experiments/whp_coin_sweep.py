@@ -14,6 +14,7 @@ from repro.analysis.bounds import whp_coin_success_bound
 from repro.analysis.stats import BernoulliEstimate
 from repro.core.params import ProtocolParams
 from repro.core.whp_coin import whp_coin
+from repro.experiments.parallel import parallel_map
 from repro.experiments.tables import format_table
 from repro.sim.runner import run_protocol
 
@@ -29,25 +30,40 @@ class WhpCoinPoint:
     paper_bound: float
 
 
-def run_point(params: ProtocolParams, seeds, max_deliveries: int = 2_000_000) -> WhpCoinPoint:
+def _trial(
+    params: ProtocolParams, seed: int, max_deliveries: int
+) -> tuple[bool, bool]:
+    """One seeded run; top-level so sweep workers can pickle it.
+
+    Returns ``(live, agreed)`` (``agreed`` only meaningful when live).
+    """
     n, f = params.n, params.f
-    live = agreements = 0
-    trials = 0
-    for seed in seeds:
-        trials += 1
-        result = run_protocol(
-            n, f, lambda ctx: whp_coin(ctx, 0),
-            corrupt=set(range(f)), params=params, seed=seed,
-            max_deliveries=max_deliveries,
-        )
-        if result.live and len(result.returns) == n - f:
-            live += 1
-            if len(result.returned_values) == 1:
-                agreements += 1
+    result = run_protocol(
+        n, f, lambda ctx: whp_coin(ctx, 0),
+        corrupt=set(range(f)), params=params, seed=seed,
+        max_deliveries=max_deliveries,
+    )
+    live = result.live and len(result.returns) == n - f
+    return live, live and len(result.returned_values) == 1
+
+
+def run_point(
+    params: ProtocolParams,
+    seeds,
+    max_deliveries: int = 2_000_000,
+    workers: int | None = None,
+) -> WhpCoinPoint:
+    outcomes = parallel_map(
+        _trial,
+        [(params, seed, max_deliveries) for seed in seeds],
+        workers=workers,
+    )
+    live = sum(1 for alive, _ in outcomes if alive)
+    agreements = sum(1 for _, agreed in outcomes if agreed)
     return WhpCoinPoint(
         params=params,
         live=live,
-        trials=trials,
+        trials=len(outcomes),
         agreement=BernoulliEstimate(successes=agreements, trials=max(live, 1)),
         paper_bound=whp_coin_success_bound(params.d),
     )
@@ -59,6 +75,7 @@ def run(
     d_values=(0.01, 0.03, 0.05),
     lam: float | None = None,
     seeds=range(25),
+    workers: int | None = None,
 ) -> list[WhpCoinPoint]:
     """Sweep d at fixed n, f, λ (default: feasibility-inflated 8 ln n)."""
     if lam is None:
@@ -66,7 +83,7 @@ def run(
     points = []
     for d in d_values:
         params = ProtocolParams(n=n, f=f, lam=lam, d=d)
-        points.append(run_point(params, seeds))
+        points.append(run_point(params, seeds, workers=workers))
     return points
 
 

@@ -5,6 +5,14 @@ process has not entered yet) can arrive arbitrarily early; the mailbox
 buffers everything and lets each wait-condition consume its instance's
 stream incrementally via a cursor, so re-evaluation after every delivery
 stays O(new messages).
+
+Reading never allocates: probing an instance that has no messages yet
+returns a cheap live *view* instead of materialising (and permanently
+storing) an empty buffer.  Long BA runs probe thousands of future-round
+instances that may never receive a message; inserting a list per probe --
+the old ``setdefault`` behaviour -- grew the mailbox without bound.  The
+view honours the append-only cursor contract: it reflects messages that
+arrive after it was handed out, exactly like the underlying list.
 """
 
 from __future__ import annotations
@@ -14,6 +22,48 @@ from typing import Hashable, Iterator
 from repro.sim.messages import Message
 
 __all__ = ["Mailbox"]
+
+# Shared immutable target for views of instances with no messages yet.
+_EMPTY: list = []
+
+
+class _InstanceStream:
+    """Live read-only view of one instance's stream before any message exists.
+
+    Delegates every access to the mailbox's current buffer for the
+    instance, so a view obtained before the first delivery 'grows in
+    place' once messages arrive -- identical observable behaviour to
+    holding the underlying list, without creating that list on read.
+    """
+
+    __slots__ = ("_buffers", "_instance")
+
+    def __init__(self, buffers: dict, instance: Hashable) -> None:
+        self._buffers = buffers
+        self._instance = instance
+
+    def _target(self) -> list:
+        return self._buffers.get(self._instance, _EMPTY)
+
+    def __len__(self) -> int:
+        return len(self._target())
+
+    def __getitem__(self, index):
+        return self._target()[index]
+
+    def __iter__(self):
+        return iter(self._target())
+
+    def __bool__(self) -> bool:
+        return bool(self._target())
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, _InstanceStream):
+            other = other._target()
+        return self._target() == other
+
+    def __repr__(self) -> str:
+        return repr(self._target())
 
 
 class Mailbox:
@@ -31,10 +81,15 @@ class Mailbox:
     def stream(self, instance: Hashable) -> list[tuple[int, Message]]:
         """The (growing) list of ``(sender, message)`` for ``instance``.
 
-        Callers must treat the list as append-only and read it with their
-        own cursor; they must never mutate it.
+        Callers must treat the result as append-only and read it with
+        their own cursor; they must never mutate it.  Probing an instance
+        with no messages yet returns a live view (see module docstring)
+        rather than allocating a buffer.
         """
-        return self._by_instance.setdefault(instance, [])
+        existing = self._by_instance.get(instance)
+        if existing is not None:
+            return existing
+        return _InstanceStream(self._by_instance, instance)  # type: ignore[return-value]
 
     def instances(self) -> Iterator[Hashable]:
         return iter(self._by_instance)

@@ -9,7 +9,11 @@
   every envelope; the duration is the maximum decision depth.
 
 Message counts and per-kind breakdowns are also kept -- they make the
-complexity benches' output auditable.
+complexity benches' output auditable.  The recorder also carries the
+kernel's hot-path observability: per-run verification-cache hit/miss
+counters (snapshotted from the PKI by ``Simulation.run``) and wait-wakeup
+counters (how many pending wait-conditions were re-evaluated versus
+skipped thanks to instance-keyed subscriptions).
 """
 
 from __future__ import annotations
@@ -33,6 +37,38 @@ class MetricsRecorder:
     messages_delivered: int = 0
     words_by_kind: Counter = field(default_factory=Counter)
     messages_by_kind: Counter = field(default_factory=Counter)
+    # Verification-cache accounting for this run (deltas of the PKI's
+    # monotone counters, written by Simulation.run).
+    vrf_verifications: int = 0
+    vrf_cache_hits: int = 0
+    sig_verifications: int = 0
+    sig_cache_hits: int = 0
+    # Pending-wait wakeup accounting: evaluated vs skipped by subscription.
+    wait_evaluations: int = 0
+    wait_skips: int = 0
+
+    @property
+    def verifications(self) -> int:
+        return self.vrf_verifications + self.sig_verifications
+
+    @property
+    def verification_cache_hits(self) -> int:
+        return self.vrf_cache_hits + self.sig_cache_hits
+
+    @property
+    def verification_cache_hit_rate(self) -> float:
+        """Fraction of verify calls answered from the cache (0.0 if none)."""
+        total = self.verifications
+        return self.verification_cache_hits / total if total else 0.0
+
+    def record_verification_counters(
+        self, before: tuple[int, int, int, int], after: tuple[int, int, int, int]
+    ) -> None:
+        """Store this run's share of the PKI's monotone verify counters."""
+        self.vrf_verifications = after[0] - before[0]
+        self.vrf_cache_hits = after[1] - before[1]
+        self.sig_verifications = after[2] - before[2]
+        self.sig_cache_hits = after[3] - before[3]
 
     def record_send(self, envelope: Envelope) -> None:
         words = envelope.payload.words()

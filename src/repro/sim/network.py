@@ -24,9 +24,19 @@ from repro.sim.messages import Envelope, EnvelopeView, Message
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.process import ProcessContext, ProtocolFactory, Wait
 
-__all__ = ["SchedulerPool", "Simulation"]
+__all__ = ["EmptySchedulerPoolError", "SchedulerPool", "Simulation"]
 
 DEFAULT_MAX_DELIVERIES = 2_000_000
+
+
+class EmptySchedulerPoolError(RuntimeError):
+    """A scheduler asked the pool for a message while nothing is in flight.
+
+    The kernel never calls ``choose`` on an empty pool, so this means an
+    adversary implementation indexed the pool outside ``choose`` (or a
+    test drove the pool directly).  Named so adversary authors get a
+    diagnosable failure instead of a bare ``randrange(0)`` traceback.
+    """
 
 
 class SchedulerPool:
@@ -42,10 +52,20 @@ class SchedulerPool:
     def __len__(self) -> int:
         return len(self._simulation._seq_list)
 
+    def _require_messages(self) -> None:
+        if not self._simulation._seq_list:
+            scheduler = type(self._simulation.adversary.scheduler).__name__
+            raise EmptySchedulerPoolError(
+                f"scheduler {scheduler} requested a message from an empty "
+                "pool: no messages are in flight"
+            )
+
     def seq_at(self, index: int) -> int:
+        self._require_messages()
         return self._simulation._seq_list[index]
 
     def random_seq(self, rng: random.Random) -> int:
+        self._require_messages()
         return self._simulation._seq_list[rng.randrange(len(self._simulation._seq_list))]
 
     def view(self, seq: int) -> EnvelopeView:
@@ -80,6 +100,11 @@ class Simulation:
         ``callable(sim) -> bool`` evaluated after every delivery; lets BA
         runs halt once every correct process decided even though the
         protocol itself loops forever.
+    eager_wakeups:
+        When True, ignore ``Wait.instances`` subscriptions and re-evaluate
+        every pending condition after every delivery (the pre-subscription
+        behaviour).  Exists so equivalence tests can diff the keyed and
+        eager paths.
     """
 
     def __init__(
@@ -92,6 +117,7 @@ class Simulation:
         params: Any = None,
         max_deliveries: int = DEFAULT_MAX_DELIVERIES,
         stop_condition: Callable[["Simulation"], bool] | None = None,
+        eager_wakeups: bool = False,
     ) -> None:
         if pki.n != n:
             raise ValueError("PKI size does not match n")
@@ -105,6 +131,7 @@ class Simulation:
         self.params = params
         self.max_deliveries = max_deliveries
         self.stop_condition = stop_condition
+        self.eager_wakeups = eager_wakeups
         self.metrics = MetricsRecorder()
 
         self.contexts = [ProcessContext(pid, self) for pid in range(n)]
@@ -227,15 +254,27 @@ class Simulation:
             self._behaviors[pid].on_deliver(ctx, envelope)
             return
         ctx.mailbox.add(envelope.sender, envelope.payload)
-        for handler in list(ctx.background_handlers):
-            handler(ctx.mailbox)
+        if ctx.background_handlers:
+            for handler in list(ctx.background_handlers):
+                handler(ctx.mailbox)
         if pid in self._generators:
             wait = self._pending.get(pid)
             if wait is not None:
-                result = wait.condition(ctx.mailbox)
-                if result is not None:
-                    self._pending[pid] = None
-                    self._advance(pid, result, first=False)
+                # Instance-keyed wakeup: a condition subscribed to a set of
+                # instances provably cannot change its answer on a delivery
+                # for any other instance, so skip the re-evaluation.
+                if (
+                    self.eager_wakeups
+                    or wait.instances is None
+                    or envelope.payload.instance in wait.instances
+                ):
+                    self.metrics.wait_evaluations += 1
+                    result = wait.condition(ctx.mailbox)
+                    if result is not None:
+                        self._pending[pid] = None
+                        self._advance(pid, result, first=False)
+                else:
+                    self.metrics.wait_skips += 1
 
     def _remove_in_flight(self, seq: int) -> Envelope:
         envelope = self._in_flight.pop(seq)
@@ -258,6 +297,7 @@ class Simulation:
         if self._started:
             raise RuntimeError("a Simulation object runs at most once")
         self._started = True
+        verify_base = self.pki.verification_counters()
 
         for pid in self.adversary.corruption.initial_corruptions(self.n, self.f):
             self.corrupt(pid)
@@ -299,7 +339,13 @@ class Simulation:
             self._stopped = self._should_stop()
 
         self.deliveries = deliveries
-        self.exhausted = deliveries >= self.max_deliveries
+        # A run that hits its stop condition on exactly the last permitted
+        # delivery terminated normally; only report exhaustion when the
+        # budget ran out *without* the condition holding.
+        self.exhausted = deliveries >= self.max_deliveries and not self._stopped
+        self.metrics.record_verification_counters(
+            verify_base, self.pki.verification_counters()
+        )
         return self
 
     # -- post-run inspection ----------------------------------------------------

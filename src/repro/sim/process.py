@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator, Hashable, Iterable
 
 from repro.crypto.hashing import derive_seed
 from repro.crypto.pki import PKI
@@ -42,10 +42,26 @@ class Wait:
 
     The same ``Wait`` object is re-evaluated repeatedly, so conditions may
     keep incremental state (cursors, partial tallies) in their closure.
+
+    ``instances`` is the wakeup subscription: the set of mailbox instances
+    the condition reads.  When given, the kernel re-evaluates the pending
+    condition only after a delivery for one of those instances -- a
+    delivery for any other instance provably cannot change the condition's
+    result, so skipping the evaluation is observationally identical (the
+    hot-path contract: a subscribed condition must be a pure function of
+    its subscribed streams plus its own closure state).  ``None`` keeps the
+    pre-subscription behaviour: re-evaluate after every delivery.  Leave it
+    ``None`` whenever the condition reads state mutated elsewhere (e.g. by
+    a background handler).
     """
 
     condition: Callable[[Mailbox], Any]
     description: str = ""
+    instances: Iterable[Hashable] | None = None
+
+    def __post_init__(self) -> None:
+        if self.instances is not None and not isinstance(self.instances, frozenset):
+            self.instances = frozenset(self.instances)
 
 
 class ProcessContext:

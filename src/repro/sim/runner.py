@@ -26,13 +26,21 @@ def stop_when_all_decided(simulation: Simulation) -> bool:
 
     This is how runs of the (forever-looping) Byzantine Agreement protocol
     terminate: the algorithm never halts, the experiment does.
+
+    Evaluated after every delivery, so the common case (not done yet) is a
+    cheap length check; the precise set union only runs when the counts
+    could possibly cover every correct process.
     """
-    return all(pid in simulation.decided for pid in simulation.correct_pids)
+    if len(simulation.decided) + len(simulation.corrupted) < simulation.n:
+        return False
+    return len(simulation.decided | simulation.corrupted) == simulation.n
 
 
 def stop_when_all_returned(simulation: Simulation) -> bool:
     """Stop once every correct process's protocol generator returned."""
-    return all(pid in simulation.finished for pid in simulation.correct_pids)
+    if len(simulation.finished) + len(simulation.corrupted) < simulation.n:
+        return False
+    return len(simulation.finished | simulation.corrupted) == simulation.n
 
 
 @dataclass(frozen=True)
@@ -137,17 +145,23 @@ def run_protocol(
     stop_condition: Callable[[Simulation], bool] | None = stop_when_all_returned,
     max_deliveries: int = DEFAULT_MAX_DELIVERIES,
     protocols_by_pid: dict[int, ProtocolFactory] | None = None,
+    verify_cache: bool = True,
+    eager_wakeups: bool = False,
 ) -> RunResult:
     """Run one protocol instance end to end and snapshot the result.
 
     By default every process runs ``protocol``, the ``corrupt`` pid set is
     statically Byzantine-silent, scheduling is uniformly random (seeded
     from ``seed``), and the run stops when every correct process's
-    generator returns.
+    generator returns.  ``verify_cache=False`` disables the PKI's
+    memoized verification (only consulted when ``pki`` is created here);
+    ``eager_wakeups=True`` disables instance-keyed wait wakeups.  Both
+    exist for equivalence testing and benchmarking against the uncached
+    kernel.
     """
     rng = random.Random(derive_seed(seed, "setup"))
     if pki is None:
-        pki = PKI.create(n, backend=backend, rng=rng)
+        pki = PKI.create(n, backend=backend, rng=rng, verify_cache=verify_cache)
     if adversary is not None and corrupt is not None:
         raise ValueError("pass either a full adversary or a corrupt set, not both")
     if adversary is None:
@@ -164,6 +178,7 @@ def run_protocol(
         params=params,
         max_deliveries=max_deliveries,
         stop_condition=stop_condition,
+        eager_wakeups=eager_wakeups,
     )
     simulation.set_protocol_all(protocol)
     if protocols_by_pid:
