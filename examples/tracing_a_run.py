@@ -1,12 +1,20 @@
 #!/usr/bin/env python3
-"""Auditing a run with the event tracer.
+"""Auditing a run through the kernel event bus.
 
-Attaches a :class:`~repro.sim.trace.TraceRecorder` to a WHP-coin run
-under adaptive *committee-hunting* corruption — the adversary corrupts
-every committee member the moment its message appears — and then uses the
-trace to verify the paper's process-replaceability argument event by
-event: each hunted member had already broadcast before it was corrupted,
-so the corruption changed nothing.
+Subscribes a :class:`~repro.sim.FlightRecorder` to a WHP-coin run under
+adaptive *committee-hunting* corruption — the adversary corrupts every
+committee member the moment its message appears — and then uses the
+typed event log to verify the paper's process-replaceability argument
+event by event: each hunted member had already broadcast before it was
+corrupted, so the corruption changed nothing.
+
+The recorder sees every kernel event (sends, deliveries, corruptions,
+decisions, wait blocking, protocol phases); the classic
+``attach_trace``/``TraceRecorder`` API still works — it is now a bus
+subscriber too, no longer a kernel monkeypatch — but new code should
+subscribe to ``sim.events`` directly, as done here.  A recording can
+also be persisted and rendered: see ``python -m repro record`` /
+``python -m repro report``.
 
 Run:  python examples/tracing_a_run.py
 """
@@ -21,9 +29,13 @@ from repro.crypto.pki import PKI
 from repro.sim import (
     Adversary,
     CommitteeTargetingCorruption,
+    CorruptEvent,
+    DeliverEvent,
+    FlightRecorder,
+    PhaseEvent,
     RandomScheduler,
+    SendEvent,
     Simulation,
-    attach_trace,
 )
 
 
@@ -39,27 +51,42 @@ def main() -> None:
         ),
         seed=11, params=params,
     )
-    trace = attach_trace(sim)
+    recorder = FlightRecorder().attach(sim)
     sim.set_protocol_all(lambda ctx: whp_coin(ctx, 0))
     sim.run()
 
+    events = recorder.events
+    sends = [e for e in events if isinstance(e, SendEvent)]
+    delivers = [e for e in events if isinstance(e, DeliverEvent)]
     outputs = {sim.returns[pid] for pid in sim.correct_pids if pid in sim.returns}
     print(f"coin outputs of correct processes: {outputs}")
-    print(f"events traced: {len(trace)}  "
-          f"(sends {len(trace.of_kind('send'))}, "
-          f"deliveries {len(trace.of_kind('deliver'))})")
+    print(f"events recorded: {len(events)}  "
+          f"(sends {len(sends)}, deliveries {len(delivers)})")
 
-    print("\nfirst 12 events:")
-    print(trace.render(limit=12))
+    spans = [e for e in events if isinstance(e, PhaseEvent)]
+    opened = sum(e.action == "enter" for e in spans)
+    closed = sum(e.action == "exit" for e in spans)
+    print(f"whp_coin spans: {opened} opened, {closed} closed "
+          f"(processes corrupted mid-span never close theirs)")
 
-    corrupted = trace.of_kind("corrupt")
-    print(f"\nadaptive corruptions: {[e.pid for e in corrupted]}")
-    for event in corrupted:
-        first_send = trace.sends_by(event.pid)[0]
+    print("\nfirst 8 deliveries:")
+    for event in delivers[:8]:
+        print(f"  [{event.step:5d}] {event.sender} -> {event.dest} "
+              f"{event.message_kind} ({event.summary.words} words, "
+              f"depth {event.depth})")
+
+    corruptions = [e for e in events if isinstance(e, CorruptEvent)]
+    print(f"\nadaptive corruptions: {[e.pid for e in corruptions]}")
+    for event in corruptions:
+        first_send = next(s for s in sends if s.sender == event.pid)
+        verdict = (
+            "TOO LATE (replaceability)"
+            if first_send.step <= event.step
+            else "early?!"
+        )
         print(
             f"  p{event.pid}: first broadcast at step {first_send.step}, "
-            f"corrupted at step {event.step} -> "
-            f"{'TOO LATE (replaceability)' if first_send.step <= event.step else 'early?!'}"
+            f"corrupted at step {event.step} -> {verdict}"
         )
     print(
         "\nEvery corruption landed after its victim's message was already "

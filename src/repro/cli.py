@@ -7,6 +7,11 @@ and for refreshing ``benchmarks/results`` piecemeal::
     python -m repro t1 --n 40 --seeds 3  # Table 1
     python -m repro e6 --seeds 40        # the ablation
     python -m repro all --quick          # everything, smoke-scale
+
+plus the flight-recorder pair::
+
+    python -m repro record --n 100 --out flight.jsonl   # run + record BA
+    python -m repro report flight.jsonl                 # render the report
 """
 
 from __future__ import annotations
@@ -124,6 +129,35 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
     "x2": ("extension: ok-justification ablation (the lambda^2 term)", _run_x2),
 }
 
+# Flight-recorder commands; separate from COMMANDS because they take a
+# file path, not sweep parameters, and are excluded from `all`.
+
+
+def _run_record(args) -> str:
+    from repro.experiments import report
+
+    out = args.out or f"flight_{args.protocol}_n{args.n or 40}_s{args.seed}.jsonl"
+    path, result = report.record_run(
+        out,
+        name=args.protocol,
+        n=args.n or 40,
+        seed=args.seed,
+        profile=not args.no_profile,
+    )
+    return (
+        f"recorded {result.deliveries} deliveries "
+        f"(duration {result.duration}, {result.words} words, "
+        f"decided={result.all_correct_decided}) -> {path}"
+    )
+
+
+def _run_report(args) -> str:
+    from repro.experiments import report
+
+    if not args.path:
+        raise SystemExit("usage: python -m repro report <recording.jsonl>")
+    return report.render_report_file(args.path)
+
 # Quick-mode overrides: (n, seeds) small enough for a coffee-break run.
 _QUICK = {
     "t1": (24, 2), "f1": (100, 8), "e1": (16, 10), "e1b": (12, 5), "e2": (None, 20),
@@ -137,9 +171,23 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Regenerate artefacts from 'Not a COINcidence' (PODC 2020).",
     )
-    parser.add_argument("command", choices=[*COMMANDS, "all", "list"])
+    parser.add_argument("command", choices=[*COMMANDS, "record", "report", "all", "list"])
+    parser.add_argument(
+        "path", nargs="?", default=None, help="recording file (report command)"
+    )
     parser.add_argument("--n", type=int, default=None, help="system size override")
     parser.add_argument("--seeds", type=int, default=None, help="seed count override")
+    parser.add_argument("--seed", type=int, default=0, help="single-run seed (record)")
+    parser.add_argument(
+        "--out", default=None, help="recording output path (record command)"
+    )
+    parser.add_argument(
+        "--protocol", default="whp_ba", help="protocol to record (record command)"
+    )
+    parser.add_argument(
+        "--no-profile", action="store_true",
+        help="record without wall-clock phase timers",
+    )
     parser.add_argument("--quick", action="store_true", help="smoke-scale parameters")
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -151,6 +199,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for name, (description, _) in COMMANDS.items():
             print(f"  {name:4s} {description}")
+        print("  record  run one protocol with the flight recorder attached")
+        print("  report  render a recorded run (round timeline, words, coin, ...)")
+        return 0
+
+    if args.command in ("record", "report"):
+        print(_run_record(args) if args.command == "record" else _run_report(args))
         return 0
 
     names = list(COMMANDS) if args.command == "all" else [args.command]

@@ -42,27 +42,34 @@ def agreement_round(
     Shared by :func:`byzantine_agreement` and the probability-1-termination
     hybrid in :mod:`repro.core.hybrid`.  ``decided_value`` is non-``None``
     exactly when this round's second approver returned a non-⊥ singleton.
+
+    Each round runs inside a ``ba-round`` span (round start/end on the
+    event bus) and ends by appending one ``round`` protocol record per
+    process -- the raw material of the per-round rollups in
+    :meth:`~repro.sim.metrics.MetricsRecorder.rounds`.
     """
-    vals = yield from approve(ctx, (tag, round_id, "est"), est, params)
-    if len(vals) == 1:
-        proposal = next(iter(vals))
-    else:
-        proposal = BOT
+    with ctx.span("ba-round", (tag, round_id)):
+        vals = yield from approve(ctx, (tag, round_id, "est"), est, params)
+        if len(vals) == 1:
+            proposal = next(iter(vals))
+        else:
+            proposal = BOT
 
-    # The coin is flipped only after every correct process has fixed its
-    # proposal for this round, so the adversary cannot bias proposals with
-    # knowledge of the flip (Lemma 6.8(2) holds because nothing above
-    # waits on other processes' coin progress).
-    coin = yield from whp_coin(ctx, (tag, round_id), params)
+        # The coin is flipped only after every correct process has fixed its
+        # proposal for this round, so the adversary cannot bias proposals with
+        # knowledge of the flip (Lemma 6.8(2) holds because nothing above
+        # waits on other processes' coin progress).
+        coin = yield from whp_coin(ctx, (tag, round_id), params)
 
-    props = yield from approve(ctx, (tag, round_id, "prop"), proposal, params)
-    non_bot = {v for v in props if v is not BOT}
-    if props == frozenset({BOT}) or not non_bot:
-        return coin, None
-    v = next(iter(non_bot))
-    if len(props) == 1:
-        return v, v
-    return v, None
+        props = yield from approve(ctx, (tag, round_id, "prop"), proposal, params)
+        non_bot = {v for v in props if v is not BOT}
+        if props == frozenset({BOT}) or not non_bot:
+            new_est, decided = coin, None
+        else:
+            v = next(iter(non_bot))
+            new_est, decided = (v, v) if len(props) == 1 else (v, None)
+    ctx.annotate("round", tag=tag, round=round_id, est=new_est, decided=decided)
+    return new_est, decided
 
 
 def byzantine_agreement(

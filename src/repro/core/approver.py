@@ -184,7 +184,32 @@ def approve(
                     return frozenset(ok_values)
         return None
 
-    result = yield Wait(
-        step, description=f"approve{instance}", instances={instance}
+    with ctx.span("approve", instance):
+        result = yield Wait(
+            step, description=f"approve{instance}", instances={instance}
+        )
+    observed_init: set[int] = set()
+    for senders in init_senders.values():
+        observed_init |= senders
+    ctx.annotate(
+        "committee", instance=instance, role=_INIT_ROLE, size=len(observed_init)
+    )
+    for candidate, records in echo_records.items():
+        ctx.annotate(
+            "committee",
+            instance=instance,
+            role=_echo_role(candidate),
+            size=len(records),
+        )
+    ctx.annotate(
+        "committee", instance=instance, role=_OK_ROLE, size=len(ok_senders)
+    )
+    ctx.annotate(
+        "approve",
+        instance=instance,
+        grade=len(result),
+        values=sorted(repr(value) for value in result),
+        in_init=in_init,
+        in_ok=in_ok,
     )
     return result

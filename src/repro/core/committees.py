@@ -77,9 +77,16 @@ def sample(
 
     Local computation only -- no communication, and unpredictable to
     everyone else until the proof is revealed (process replaceability).
+
+    Every draw appends a ``sampled`` protocol record (role + outcome), so
+    the self-reported committee sizes -- the quantity the (1±d)λ
+    concentration bounds govern -- can be rolled up per run without the
+    trusted :func:`sample_committee` view.
     """
     output = ctx.vrf(committee_seed(instance, role))
-    return output.value < sampling_threshold(params), output
+    member = output.value < sampling_threshold(params)
+    ctx.annotate("sampled", instance=instance, role=role, member=member)
+    return member, output
 
 
 def committee_val(

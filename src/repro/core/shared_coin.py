@@ -90,7 +90,16 @@ def shared_coin(
             return state["min"].value & 1
         return None
 
-    result = yield Wait(
-        step, description=f"shared_coin{instance}", instances={instance}
+    with ctx.span("shared_coin", instance):
+        result = yield Wait(
+            step, description=f"shared_coin{instance}", instances={instance}
+        )
+    ctx.annotate(
+        "coin",
+        variant="alg1",
+        instance=instance,
+        outcome=result,
+        first_seen=len(first_senders),
+        second_seen=len(second_senders),
     )
     return result

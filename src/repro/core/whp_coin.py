@@ -39,6 +39,12 @@ def whp_coin(
     All correct processes must invoke the same ``round_id`` causally
     independently of each other's progress (the BA protocol guarantees
     this by flipping the coin after proposals are fixed).
+
+    Observability: the invocation runs inside a ``whp_coin`` span; on
+    completion the process annotates one ``coin`` record (its outcome bit
+    -- the rollup checks unanimity per invocation) and two ``committee``
+    records (the validated FIRST/SECOND membership counts it observed,
+    feeding the observed committee-size histograms).
     """
     params = params or ctx.params
     instance = ("whp_coin", round_id)
@@ -121,7 +127,22 @@ def whp_coin(
             return state["min"].value & 1
         return None
 
-    result = yield Wait(
-        step, description=f"whp_coin{instance}", instances={instance}
+    with ctx.span("whp_coin", instance):
+        result = yield Wait(
+            step, description=f"whp_coin{instance}", instances={instance}
+        )
+    ctx.annotate(
+        "committee", instance=instance, role=_FIRST_ROLE, size=len(first_senders)
+    )
+    ctx.annotate(
+        "committee", instance=instance, role=_SECOND_ROLE, size=len(second_senders)
+    )
+    ctx.annotate(
+        "coin",
+        variant="whp",
+        instance=instance,
+        outcome=result,
+        in_first=in_first,
+        in_second=in_second,
     )
     return result

@@ -25,6 +25,7 @@ from repro.crypto.pki import PKI
 from repro.experiments.parallel import parallel_map
 from repro.experiments.tables import format_table
 from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.events import DeliverEvent
 from repro.sim.network import Simulation
 from repro.sim.trace import attach_trace
 
@@ -63,6 +64,20 @@ def run_once(n: int, f: int, seed: int) -> CommonValuesRun:
         seed=seed, params=params,
     )
     trace = attach_trace(sim)
+
+    # Trusted-measurement subscriber: FIRST-value origins are read from the
+    # live payload *during* the delivery callback (trace rows only keep an
+    # immutable summary).  The trace is an observer's tool, not part of the
+    # adversary interface, so this does not weaken the model.
+    first_deliveries: list[tuple[int, int, int]] = []  # (step, dest, origin)
+
+    def collect_first(event) -> None:
+        if isinstance(event, DeliverEvent) and isinstance(event.payload, FirstMsg):
+            first_deliveries.append(
+                (event.step, event.dest, event.payload.coin_value.origin)
+            )
+
+    sim.events.subscribe(collect_first)
     sim.set_protocol_all(lambda ctx: shared_coin(ctx, 0))
     sim.run()
 
@@ -76,16 +91,12 @@ def run_once(n: int, f: int, seed: int) -> CommonValuesRun:
     }
     # Which origins' FIRST values each correct process received in phase 1.
     receivers_per_origin: dict[int, set[int]] = {}
-    for event in trace.of_kind("deliver"):
-        if event.message_kind != "FirstMsg" or event.pid not in correct:
+    for step, dest, origin in first_deliveries:
+        if dest not in correct:
             continue
-        if event.pid not in second_step or event.step > second_step[event.pid]:
+        if dest not in second_step or step > second_step[dest]:
             continue
-        payload = event.detail
-        assert isinstance(payload, FirstMsg)
-        receivers_per_origin.setdefault(payload.coin_value.origin, set()).add(
-            event.pid
-        )
+        receivers_per_origin.setdefault(origin, set()).add(dest)
     c = sum(1 for receivers in receivers_per_origin.values() if len(receivers) > f)
 
     alpha = coin_value_alpha(("shared_coin", 0))

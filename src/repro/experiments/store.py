@@ -16,7 +16,14 @@ import math
 from pathlib import Path
 from typing import Any
 
-__all__ = ["compare_results", "load_results", "save_results", "to_jsonable"]
+__all__ = [
+    "compare_results",
+    "load_jsonl",
+    "load_results",
+    "save_jsonl",
+    "save_results",
+    "to_jsonable",
+]
 
 
 def to_jsonable(value: Any) -> Any:
@@ -56,6 +63,33 @@ def load_results(name: str, directory: str | Path) -> Any:
     """Load a previously saved result set."""
     path = Path(directory) / f"{name}.json"
     return json.loads(path.read_text())
+
+
+def save_jsonl(path: str | Path, records: Any) -> Path:
+    """Write an iterable of records to ``path``, one JSON object per line.
+
+    The streaming sibling of :func:`save_results`: flight recordings are
+    schedule-sized (one line per kernel event), so they are written
+    line-by-line instead of as one indented document.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(to_jsonable(record), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read a JSONL file back as a list of dicts (blank lines skipped)."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
 
 
 def compare_results(

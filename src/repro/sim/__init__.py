@@ -29,6 +29,20 @@ from repro.sim.adversary import (
     StaticCorruption,
     TargetedDelayScheduler,
 )
+from repro.sim.events import (
+    CorruptEvent,
+    DecideEvent,
+    DeliverEvent,
+    EventBus,
+    KernelEvent,
+    PayloadSummary,
+    PhaseEvent,
+    SendEvent,
+    WaitBlockEvent,
+    WaitWakeEvent,
+    event_from_record,
+    event_to_record,
+)
 from repro.sim.byzantine import (
     ByzantineBehavior,
     CrashBehavior,
@@ -37,7 +51,13 @@ from repro.sim.byzantine import (
 )
 from repro.sim.mailbox import Mailbox
 from repro.sim.messages import Envelope, Message
-from repro.sim.metrics import MetricsRecorder
+from repro.sim.flightrecorder import (
+    FlightRecorder,
+    critical_path,
+    load_recording,
+    save_recording,
+)
+from repro.sim.metrics import MetricsRecorder, ProtocolRecord, histogram
 from repro.sim.network import Simulation
 from repro.sim.process import ProcessContext, Wait
 from repro.sim.trace import TraceEvent, TraceRecorder, attach_trace
@@ -54,18 +74,28 @@ __all__ = [
     "Adversary",
     "ByzantineBehavior",
     "ContentAwareMinWithholdScheduler",
+    "CorruptEvent",
     "CrashBehavior",
+    "DecideEvent",
+    "DeliverEvent",
     "Envelope",
+    "EventBus",
     "FIFOScheduler",
+    "FlightRecorder",
+    "KernelEvent",
     "Mailbox",
     "PartitionScheduler",
     "Message",
     "MetricsRecorder",
+    "PayloadSummary",
+    "PhaseEvent",
     "ProcessContext",
+    "ProtocolRecord",
     "RandomScheduler",
     "ReplayScheduler",
     "RunResult",
     "Scheduler",
+    "SendEvent",
     "ScriptedBehavior",
     "ScriptedScheduler",
     "SilentBehavior",
@@ -74,9 +104,17 @@ __all__ = [
     "TargetedDelayScheduler",
     "TraceEvent",
     "TraceRecorder",
-    "attach_trace",
     "Wait",
+    "WaitBlockEvent",
+    "WaitWakeEvent",
+    "attach_trace",
+    "critical_path",
+    "event_from_record",
+    "event_to_record",
+    "histogram",
+    "load_recording",
     "run_protocol",
+    "save_recording",
     "stop_when_all_decided",
     "stop_when_all_returned",
 ]

@@ -189,14 +189,29 @@ class ReplayScheduler(Scheduler):
     """Re-executes a recorded schedule exactly.
 
     Takes the ``(sender, dest)`` delivery order of a previous run (from
-    :meth:`repro.sim.trace.TraceRecorder.delivery_order`) and delivers the
-    in-flight message matching each pair in turn.  Valid only when the
-    replayed run is byte-identical up to scheduling (same protocol code,
-    keys and seed); raises loudly when the schedule diverges.
+    :meth:`repro.sim.trace.TraceRecorder.delivery_order` or a flight
+    recording) and delivers the in-flight message matching each pair in
+    turn.  Valid only when the replayed run is byte-identical up to
+    scheduling (same protocol code, keys and seed); raises loudly when
+    the schedule diverges.
+
+    Link-level replay delivers each link's messages in submission order.
+    That reproduces any FIFO-per-link schedule, but the random scheduler
+    may deliver a link's *second* in-flight message first -- pass the
+    recorded ``seqs`` (message sequence numbers, e.g.
+    :meth:`repro.sim.flightrecorder.FlightRecorder.delivery_seqs`) for a
+    seq-exact replay that reproduces the original event log bit for bit.
     """
 
-    def __init__(self, order: Iterable[tuple[int, int]]) -> None:
+    def __init__(
+        self,
+        order: Iterable[tuple[int, int]],
+        seqs: Iterable[int] | None = None,
+    ) -> None:
         self._order = list(order)
+        self._seqs = None if seqs is None else list(seqs)
+        if self._seqs is not None and len(self._seqs) != len(self._order):
+            raise ValueError("seqs and order must describe the same deliveries")
         self._position = 0
         # (sender, dest) -> FIFO of in-flight seqs on that link.  Per-link
         # FIFO matches the kernel's per-link submission order.
@@ -212,14 +227,26 @@ class ReplayScheduler(Scheduler):
                 "the run being replayed diverged from the recording"
             )
         link = self._order[self._position]
-        self._position += 1
         queue = self._links.get(link)
         if not queue:
             raise RuntimeError(
                 f"replay schedule expects a message on link {link} but none "
                 "is in flight; the run diverged from the recording"
             )
-        return queue.pop(0)
+        if self._seqs is None:
+            seq = queue.pop(0)
+        else:
+            seq = self._seqs[self._position]
+            try:
+                queue.remove(seq)
+            except ValueError:
+                raise RuntimeError(
+                    f"replay schedule expects message #{seq} on link {link} "
+                    "but it is not in flight; the run diverged from the "
+                    "recording"
+                ) from None
+        self._position += 1
+        return seq
 
 
 class PartitionScheduler(Scheduler):

@@ -1,0 +1,295 @@
+"""The kernel event bus: typed run events for zero-or-more subscribers.
+
+The flight-recorder observability layer rests on this module.  The
+:class:`~repro.sim.network.Simulation` kernel emits one frozen event
+object per observable occurrence -- sends, deliveries, corruptions,
+decisions, wait blocking/waking, protocol-phase entry and exit -- to an
+:class:`EventBus`.  Subscribers are plain callables; the kernel guards
+every emission site with a truthiness check on the subscriber list, so a
+run with nothing attached pays one attribute read and one branch per
+site (measured by ``benchmarks/bench_observability_overhead.py``).
+
+Events reference live kernel objects only through immutable snapshots:
+a :class:`DeliverEvent` carries the payload *reference* for subscribers
+that want to inspect it at delivery time (the trusted-measurement use
+case, e.g. experiment E1b), plus a :class:`PayloadSummary` that stays
+valid even if the protocol later mutates or reuses the payload object.
+Anything persisted must persist the summary, never the reference.
+
+``step`` on every event is the kernel's global delivery counter at
+emission time, so events are totally ordered by (step, index-in-log).
+
+The JSONL flight-recording schema is versioned here
+(:data:`EVENT_SCHEMA`, :data:`EVENT_SCHEMA_VERSION`); bump the version
+whenever an event gains, loses or renames a field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Union
+
+if TYPE_CHECKING:
+    from repro.sim.messages import Message
+
+__all__ = [
+    "EVENT_SCHEMA",
+    "EVENT_SCHEMA_VERSION",
+    "CorruptEvent",
+    "DecideEvent",
+    "DeliverEvent",
+    "EventBus",
+    "KernelEvent",
+    "PayloadSummary",
+    "PhaseEvent",
+    "SendEvent",
+    "WaitBlockEvent",
+    "WaitWakeEvent",
+    "event_from_record",
+    "event_to_record",
+    "summarize_payload",
+]
+
+EVENT_SCHEMA = "repro.flight"
+EVENT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class PayloadSummary:
+    """Immutable snapshot of a protocol message, safe to persist.
+
+    Captures the complexity-relevant facts (kind, instance, size in
+    paper-words) plus the payload's ``repr`` at snapshot time.  Recording
+    the summary instead of the live object keeps recordings valid even if
+    a protocol mutates or reuses payload objects after delivery.
+    """
+
+    kind: str
+    instance: Hashable
+    words: int
+    text: str
+
+
+def summarize_payload(message: "Message") -> PayloadSummary:
+    """Snapshot ``message`` into an immutable :class:`PayloadSummary`."""
+    return PayloadSummary(
+        kind=type(message).__name__,
+        instance=message.instance,
+        words=message.words(),
+        text=repr(message),
+    )
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """A message entered the network (``Simulation.submit``)."""
+
+    kind = "send"
+
+    step: int
+    seq: int
+    sender: int
+    dest: int
+    instance: Hashable
+    message_kind: str
+    words: int
+    depth: int
+    sender_correct: bool
+
+
+@dataclass(frozen=True)
+class DeliverEvent:
+    """A message left the network and reached its destination.
+
+    ``payload`` is the live message object -- valid to inspect *during*
+    the subscriber callback, never to store (store ``summary``).
+    """
+
+    kind = "deliver"
+
+    step: int
+    seq: int
+    sender: int
+    dest: int
+    instance: Hashable
+    message_kind: str
+    words: int
+    depth: int
+    summary: PayloadSummary
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class CorruptEvent:
+    """A process fell to the adversary (budget-permitting corruption)."""
+
+    kind = "corrupt"
+
+    step: int
+    pid: int
+
+
+@dataclass(frozen=True)
+class DecideEvent:
+    """A correct process recorded its irrevocable decision."""
+
+    kind = "decide"
+
+    step: int
+    pid: int
+    value: Any
+    depth: int
+
+
+@dataclass(frozen=True)
+class WaitBlockEvent:
+    """A protocol coroutine parked on an unsatisfied wait-condition."""
+
+    kind = "wait_block"
+
+    step: int
+    pid: int
+    description: str
+    subscribed: bool
+
+
+@dataclass(frozen=True)
+class WaitWakeEvent:
+    """A parked wait-condition fired and its coroutine resumed."""
+
+    kind = "wait_wake"
+
+    step: int
+    pid: int
+    description: str
+
+
+@dataclass(frozen=True)
+class PhaseEvent:
+    """A protocol span opened (``enter``) or closed (``exit``).
+
+    Emitted by :meth:`repro.sim.process.ProcessContext.span`; ``phase``
+    is the span label (e.g. ``"ba-round"``, ``"whp_coin"``), ``instance``
+    the protocol instance it covers.  Round starts and ends are phase
+    events with phase ``"ba-round"``.
+    """
+
+    kind = "phase"
+
+    step: int
+    pid: int
+    phase: str
+    instance: Hashable
+    action: str  # "enter" | "exit"
+
+
+KernelEvent = Union[
+    SendEvent,
+    DeliverEvent,
+    CorruptEvent,
+    DecideEvent,
+    WaitBlockEvent,
+    WaitWakeEvent,
+    PhaseEvent,
+]
+
+_EVENT_TYPES: dict[str, type] = {
+    cls.kind: cls
+    for cls in (
+        SendEvent,
+        DeliverEvent,
+        CorruptEvent,
+        DecideEvent,
+        WaitBlockEvent,
+        WaitWakeEvent,
+        PhaseEvent,
+    )
+}
+
+
+class EventBus:
+    """Dispatches kernel events to zero or more subscriber callables.
+
+    The kernel holds a reference to :attr:`subscribers` and checks its
+    truthiness before *constructing* an event, so the no-subscriber cost
+    per emission site is one attribute read plus one branch.  Subscribers
+    are invoked synchronously in subscription order and must not mutate
+    the kernel or the payloads they are shown.
+    """
+
+    __slots__ = ("subscribers",)
+
+    def __init__(self) -> None:
+        self.subscribers: list[Callable[[KernelEvent], None]] = []
+
+    def subscribe(self, callback: Callable[[KernelEvent], None]) -> Callable:
+        """Register ``callback``; returns it (handy for unsubscribe)."""
+        if callback not in self.subscribers:
+            self.subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[KernelEvent], None]) -> None:
+        if callback in self.subscribers:
+            self.subscribers.remove(callback)
+
+    def emit(self, event: KernelEvent) -> None:
+        for callback in self.subscribers:
+            callback(event)
+
+    def __bool__(self) -> bool:
+        return bool(self.subscribers)
+
+
+# -- serialization -------------------------------------------------------------
+
+
+def event_to_record(event: KernelEvent) -> dict[str, Any]:
+    """Flatten ``event`` into a JSON-friendly dict (``k`` = event kind).
+
+    Deliver events drop the live payload reference and inline the
+    summary's fields; everything else serialises field-for-field.  The
+    inverse is :func:`event_from_record`.
+    """
+    record: dict[str, Any] = {"k": event.kind}
+    for spec in fields(event):
+        value = getattr(event, spec.name)
+        if spec.name == "payload":
+            continue
+        if spec.name == "summary":
+            record["payload_words"] = value.words
+            record["payload_text"] = value.text
+            continue
+        record[spec.name] = value
+    return record
+
+
+def _as_instance(value: Any) -> Hashable:
+    """Recover hashable instance labels from JSON round-trips (list->tuple)."""
+    if isinstance(value, list):
+        return tuple(_as_instance(item) for item in value)
+    return value
+
+
+def event_from_record(record: dict[str, Any]) -> KernelEvent:
+    """Rebuild a typed event from :func:`event_to_record` output.
+
+    Tolerates JSON round-trips: instance tuples come back from lists.
+    Raises ``ValueError`` on unknown kinds, so schema drift fails loudly.
+    """
+    data = dict(record)
+    kind = data.pop("k", None)
+    cls = _EVENT_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown event kind {kind!r} in record {record!r}")
+    if cls is DeliverEvent:
+        data["summary"] = PayloadSummary(
+            kind=data["message_kind"],
+            instance=_as_instance(data["instance"]),
+            words=data.pop("payload_words"),
+            text=data.pop("payload_text"),
+        )
+    if "instance" in data:
+        data["instance"] = _as_instance(data["instance"])
+    if "value" in data:
+        data["value"] = _as_instance(data["value"])
+    return cls(**data)

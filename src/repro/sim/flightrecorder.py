@@ -1,0 +1,271 @@
+"""The flight recorder: persistable kernel-event logs and their analyses.
+
+A :class:`FlightRecorder` is an event-bus subscriber that keeps every
+kernel event of a run (with live payload references stripped, so the log
+stays valid after the run).  :func:`save_recording` /
+:func:`load_recording` move a recording through the schema-versioned
+JSONL format -- one header line, one line per event, one summary footer
+-- via :mod:`repro.experiments.store`.  :func:`critical_path` walks a
+recorded event log back from the deepest decision along the causal
+depth chain, recovering the message sequence whose length *is* the run's
+running time (paper Section 2's longest causally-related chain).
+
+The recorder is also the replay bridge: :meth:`FlightRecorder.delivery_order`
+feeds :class:`repro.sim.adversary.ReplayScheduler`, so any recording can
+be re-executed delivery-for-delivery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.events import (
+    EVENT_SCHEMA,
+    EVENT_SCHEMA_VERSION,
+    DecideEvent,
+    DeliverEvent,
+    KernelEvent,
+    SendEvent,
+    event_from_record,
+    event_to_record,
+)
+
+if TYPE_CHECKING:
+    from repro.sim.network import Simulation
+    from repro.sim.runner import RunResult
+
+__all__ = [
+    "FlightRecorder",
+    "Recording",
+    "critical_path",
+    "load_recording",
+    "save_recording",
+]
+
+
+class FlightRecorder:
+    """Collects every kernel event of a run, ready to persist or analyse.
+
+    Subscribe with :meth:`attach` (or pass ``subscribers=[recorder.on_event]``
+    to :func:`repro.sim.runner.run_protocol`).  Deliver events are stored
+    with the live payload reference dropped -- only the immutable
+    :class:`~repro.sim.events.PayloadSummary` survives -- so holding a
+    recording never pins or aliases protocol message objects.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[KernelEvent] = []
+
+    def on_event(self, event: KernelEvent) -> None:
+        if type(event) is DeliverEvent and event.payload is not None:
+            event = replace(event, payload=None)
+        self.events.append(event)
+
+    def attach(self, simulation: "Simulation") -> "FlightRecorder":
+        """Subscribe to ``simulation``'s event bus; returns self."""
+        simulation.events.subscribe(self.on_event)
+        return self
+
+    def delivery_order(self) -> list[tuple[int, int]]:
+        """The run's ``(sender, dest)`` delivery schedule, replay-ready."""
+        return _delivery_order(self.events)
+
+    def delivery_seqs(self) -> list[int]:
+        """The run's delivered message sequence numbers, in order."""
+        return _delivery_seqs(self.events)
+
+    def replay_scheduler(self):
+        """A seq-exact :class:`~repro.sim.adversary.ReplayScheduler`."""
+        return _replay_scheduler(self.events)
+
+
+@dataclass(frozen=True)
+class Recording:
+    """A loaded flight recording: run header, typed events, summary."""
+
+    header: dict[str, Any]
+    events: tuple[KernelEvent, ...]
+    summary: dict[str, Any]
+
+    def delivery_order(self) -> list[tuple[int, int]]:
+        return _delivery_order(self.events)
+
+    def delivery_seqs(self) -> list[int]:
+        return _delivery_seqs(self.events)
+
+    def replay_scheduler(self):
+        """A seq-exact :class:`~repro.sim.adversary.ReplayScheduler`."""
+        return _replay_scheduler(self.events)
+
+
+def _delivery_order(events) -> list[tuple[int, int]]:
+    return [
+        (event.sender, event.dest)
+        for event in events
+        if type(event) is DeliverEvent
+    ]
+
+
+def _delivery_seqs(events) -> list[int]:
+    return [event.seq for event in events if type(event) is DeliverEvent]
+
+
+def _replay_scheduler(events):
+    from repro.sim.adversary import ReplayScheduler
+
+    return ReplayScheduler(_delivery_order(events), seqs=_delivery_seqs(events))
+
+
+def save_recording(
+    path: str | Path, recorder: FlightRecorder, result: "RunResult"
+) -> Path:
+    """Write a run's flight recording to ``path`` as schema-versioned JSONL.
+
+    Line 1 is the header (schema name/version and run identity), then one
+    line per event, then a ``summary`` footer carrying the persisted
+    metrics (timings included -- a recording documents one concrete run)
+    and the protocol rollups, so reports render without re-execution.
+    """
+    from repro.experiments.store import save_jsonl
+
+    header = {
+        "k": "header",
+        "schema": EVENT_SCHEMA,
+        "version": EVENT_SCHEMA_VERSION,
+        "n": result.n,
+        "f": result.f,
+        "seed": result.seed,
+        "corrupted": sorted(result.corrupted),
+    }
+    summary = {
+        "k": "summary",
+        "deliveries": result.deliveries,
+        "duration": result.duration,
+        "words": result.words,
+        "live": result.live,
+        "all_correct_decided": result.all_correct_decided,
+        "decisions": {str(pid): result.decisions[pid] for pid in sorted(result.decisions)},
+        "metrics": result.metrics.to_dict(),
+        "protocol": result.metrics.protocol_summary(),
+    }
+    records = [header, *map(event_to_record, _persistable(recorder.events)), summary]
+    return save_jsonl(path, records)
+
+
+def _persistable(events: list[KernelEvent]) -> list[KernelEvent]:
+    return [
+        replace(event, payload=None)
+        if type(event) is DeliverEvent and event.payload is not None
+        else event
+        for event in events
+    ]
+
+
+def load_recording(path: str | Path) -> Recording:
+    """Load a :func:`save_recording` file back into typed events.
+
+    Raises ``ValueError`` on a missing/mismatched schema header, so stale
+    recordings fail loudly rather than misrender.
+    """
+    from repro.experiments.store import load_jsonl
+
+    records = load_jsonl(path)
+    if not records or records[0].get("k") != "header":
+        raise ValueError(f"{path}: not a flight recording (no header line)")
+    header = records[0]
+    if header.get("schema") != EVENT_SCHEMA:
+        raise ValueError(f"{path}: unknown schema {header.get('schema')!r}")
+    if header.get("version") != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema version {header.get('version')!r}, "
+            f"expected {EVENT_SCHEMA_VERSION}"
+        )
+    summary: dict[str, Any] = {}
+    events = []
+    for record in records[1:]:
+        if record.get("k") == "summary":
+            summary = record
+            continue
+        events.append(event_from_record(record))
+    return Recording(header=header, events=tuple(events), summary=summary)
+
+
+def critical_path(events) -> list[dict[str, Any]]:
+    """Recover the causal chain behind the deepest decision in ``events``.
+
+    The kernel threads a causal depth through every envelope (depth =
+    sender's depth + 1; a receiver's depth is the max over its
+    deliveries), so the deepest decision sits at the end of at least one
+    send->deliver chain touching every depth.  This walks that chain
+    backwards: from the deciding process, find the first delivery that
+    brought it to its decision depth, jump to that message's sender via
+    the matching send, and repeat until depth 0.
+
+    Returns the chain in causal order: a ``send``/``deliver`` entry per
+    hop and a final ``decide`` entry.  Empty if nothing decided.
+    """
+    decides = [event for event in events if type(event) is DecideEvent]
+    if not decides:
+        return []
+    deepest = max(decides, key=lambda event: (event.depth, -event.step))
+    sends_by_seq: dict[int, SendEvent] = {
+        event.seq: event for event in events if type(event) is SendEvent
+    }
+    delivers_by_dest: dict[int, list[DeliverEvent]] = {}
+    for event in events:
+        if type(event) is DeliverEvent:
+            delivers_by_dest.setdefault(event.dest, []).append(event)
+
+    chain: list[dict[str, Any]] = [
+        {
+            "kind": "decide",
+            "step": deepest.step,
+            "pid": deepest.pid,
+            "value": deepest.value,
+            "depth": deepest.depth,
+        }
+    ]
+    pid, depth, step = deepest.pid, deepest.depth, deepest.step
+    while depth > 0:
+        hop = next(
+            (
+                event
+                for event in delivers_by_dest.get(pid, ())
+                if event.depth == depth and event.step <= step
+            ),
+            None,
+        )
+        if hop is None:
+            break  # incomplete log (e.g. recording attached mid-run)
+        send = sends_by_seq.get(hop.seq)
+        chain.append(
+            {
+                "kind": "deliver",
+                "step": hop.step,
+                "seq": hop.seq,
+                "sender": hop.sender,
+                "dest": hop.dest,
+                "message_kind": hop.message_kind,
+                "instance": hop.instance,
+                "words": hop.words,
+                "depth": hop.depth,
+            }
+        )
+        if send is not None:
+            chain.append(
+                {
+                    "kind": "send",
+                    "step": send.step,
+                    "seq": send.seq,
+                    "sender": send.sender,
+                    "dest": send.dest,
+                    "message_kind": send.message_kind,
+                    "instance": send.instance,
+                    "depth": send.depth,
+                }
+            )
+        pid, depth, step = hop.sender, depth - 1, (send.step if send else hop.step)
+    chain.reverse()
+    return chain

@@ -1,4 +1,4 @@
-"""Run metrics: word complexity and causal time, per the paper's definitions.
+"""Run metrics: word complexity, causal time, and per-round protocol records.
 
 * **Word complexity** (Section 2): the total number of words sent by
   *correct* processes; a word holds a signature, a VRF output, or a
@@ -11,19 +11,53 @@
 Message counts and per-kind breakdowns are also kept -- they make the
 complexity benches' output auditable.  The recorder also carries the
 kernel's hot-path observability: per-run verification-cache hit/miss
-counters (snapshotted from the PKI by ``Simulation.run``) and wait-wakeup
-counters (how many pending wait-conditions were re-evaluated versus
-skipped thanks to instance-keyed subscriptions).
+counters (snapshotted from the PKI by ``Simulation.run``), wait-wakeup
+counters (re-evaluated versus skipped pending conditions), wall-clock
+phase timers (populated only when the run profiles, see
+``Simulation(profile=True)``), and the **protocol record log** --
+structured per-round facts (round outcomes, coin invocations, observed
+committee sizes, approver grades) appended by protocol code through
+:meth:`repro.sim.process.ProcessContext.annotate` and rolled up by
+:meth:`MetricsRecorder.protocol_summary`.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Any, Hashable
 
 from repro.sim.messages import Envelope
 
-__all__ = ["MetricsRecorder"]
+__all__ = ["MetricsRecorder", "ProtocolRecord", "histogram"]
+
+
+@dataclass(frozen=True)
+class ProtocolRecord:
+    """One structured fact a protocol recorded about its own progress.
+
+    ``kind`` names the fact category (``"round"``, ``"coin"``,
+    ``"approve"``, ``"committee"``, ``"sampled"``); ``data`` holds the
+    category's JSON-friendly fields.  ``step`` is the kernel's delivery
+    counter at annotation time, so records are round-indexed *and*
+    schedule-ordered.
+    """
+
+    step: int
+    pid: int
+    kind: str
+    data: tuple[tuple[str, Any], ...]
+
+    def get(self, name: str, default: Any = None) -> Any:
+        for key, value in self.data:
+            if key == name:
+                return value
+        return default
+
+
+def histogram(values) -> dict[int, int]:
+    """Sorted value -> multiplicity map (the report's histogram helper)."""
+    return dict(sorted(Counter(values).items()))
 
 
 @dataclass
@@ -46,6 +80,12 @@ class MetricsRecorder:
     # Pending-wait wakeup accounting: evaluated vs skipped by subscription.
     wait_evaluations: int = 0
     wait_skips: int = 0
+    # Wall-clock seconds per kernel section / protocol span; empty unless
+    # the simulation ran with profile=True (timings are the one field that
+    # legitimately differs between otherwise identical runs).
+    phase_timings: dict[str, float] = field(default_factory=dict)
+    # Structured per-round facts appended by ProcessContext.annotate.
+    protocol_records: list[ProtocolRecord] = field(default_factory=list)
 
     @property
     def verifications(self) -> int:
@@ -83,3 +123,174 @@ class MetricsRecorder:
 
     def record_delivery(self, envelope: Envelope) -> None:
         self.messages_delivered += 1
+
+    def add_timing(self, section: str, seconds: float) -> None:
+        self.phase_timings[section] = self.phase_timings.get(section, 0.0) + seconds
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self, include_timings: bool = True) -> dict[str, Any]:
+        """Every persisted counter, ready for ``store.save_results``.
+
+        Includes the hot-path counters (verification cache hits,
+        wait evaluations/skips) and -- unless ``include_timings`` is
+        False -- the wall-clock phase timers.  Timings are excluded when
+        comparing runs for byte-identity, since wall-clock legitimately
+        varies between otherwise identical executions.  The raw protocol
+        record log is *not* inlined (it is schedule-sized); its rollup is
+        exposed via :meth:`protocol_summary`.
+        """
+        payload: dict[str, Any] = {
+            "words_correct": self.words_correct,
+            "words_total": self.words_total,
+            "messages_sent_correct": self.messages_sent_correct,
+            "messages_sent_total": self.messages_sent_total,
+            "messages_delivered": self.messages_delivered,
+            "words_by_kind": dict(self.words_by_kind),
+            "messages_by_kind": dict(self.messages_by_kind),
+            "vrf_verifications": self.vrf_verifications,
+            "vrf_cache_hits": self.vrf_cache_hits,
+            "sig_verifications": self.sig_verifications,
+            "sig_cache_hits": self.sig_cache_hits,
+            "verification_cache_hit_rate": self.verification_cache_hit_rate,
+            "wait_evaluations": self.wait_evaluations,
+            "wait_skips": self.wait_skips,
+        }
+        if include_timings:
+            payload["phase_timings"] = dict(self.phase_timings)
+        return payload
+
+    # -- protocol-record rollups ----------------------------------------------
+
+    def records_of(self, kind: str) -> list[ProtocolRecord]:
+        return [record for record in self.protocol_records if record.kind == kind]
+
+    def rounds(self) -> list[dict[str, Any]]:
+        """Round-indexed rollup of the per-process ``round`` records.
+
+        One entry per (tag, round), ordered by first occurrence, with the
+        set of participating pids, how many decided in that round, and the
+        estimates the round ended with.
+        """
+        by_round: dict[Hashable, dict[str, Any]] = {}
+        for record in self.records_of("round"):
+            key = (record.get("tag"), record.get("round"))
+            entry = by_round.setdefault(
+                key,
+                {
+                    "tag": key[0],
+                    "round": key[1],
+                    "pids": [],
+                    "decided": 0,
+                    "estimates": Counter(),
+                    "first_step": record.step,
+                    "last_step": record.step,
+                },
+            )
+            entry["pids"].append(record.pid)
+            entry["estimates"][record.get("est")] += 1
+            if record.get("decided") is not None:
+                entry["decided"] += 1
+            entry["first_step"] = min(entry["first_step"], record.step)
+            entry["last_step"] = max(entry["last_step"], record.step)
+        rows = sorted(by_round.values(), key=lambda row: (str(row["tag"]), row["round"]))
+        for row in rows:
+            row["pids"] = sorted(row["pids"])
+            row["estimates"] = {
+                repr(value): count for value, count in sorted(
+                    row["estimates"].items(), key=lambda item: repr(item[0])
+                )
+            }
+        return rows
+
+    def coin_invocations(self) -> list[dict[str, Any]]:
+        """Per-invocation coin rollup: outcomes, unanimity, observed sizes."""
+        by_instance: dict[Hashable, dict[str, Any]] = {}
+        for record in self.records_of("coin"):
+            key = record.get("instance")
+            entry = by_instance.setdefault(
+                key,
+                {
+                    "instance": key,
+                    "variant": record.get("variant"),
+                    "outcomes": Counter(),
+                    "participants": 0,
+                    "first_step": record.step,
+                    "last_step": record.step,
+                },
+            )
+            entry["outcomes"][record.get("outcome")] += 1
+            entry["participants"] += 1
+            entry["first_step"] = min(entry["first_step"], record.step)
+            entry["last_step"] = max(entry["last_step"], record.step)
+        rows = sorted(by_instance.values(), key=lambda row: repr(row["instance"]))
+        for row in rows:
+            outcomes = row.pop("outcomes")
+            row["outcomes"] = {repr(bit): count for bit, count in sorted(
+                outcomes.items(), key=lambda item: repr(item[0])
+            )}
+            row["unanimous"] = len(outcomes) == 1
+        return rows
+
+    def coin_success_rate(self) -> float:
+        """Fraction of coin invocations on which every participant agreed."""
+        rows = self.coin_invocations()
+        if not rows:
+            return 0.0
+        return sum(row["unanimous"] for row in rows) / len(rows)
+
+    @staticmethod
+    def _role_family(role: Any) -> str:
+        """Collapse per-value role labels (e.g. ``("echo", v)``) to a family."""
+        if isinstance(role, (tuple, list)) and role:
+            return str(role[0])
+        return str(role)
+
+    def committee_sizes(self) -> dict[str, dict[int, int]]:
+        """Observed committee-size histograms, keyed by committee role family.
+
+        "Observed" means the count of distinct *validated* members a
+        process saw for that committee by the time its instance finished
+        -- the quantity the (1±d)λ concentration claims bound.
+        """
+        by_role: dict[str, list[int]] = {}
+        for record in self.records_of("committee"):
+            by_role.setdefault(self._role_family(record.get("role")), []).append(
+                record.get("size")
+            )
+        return {role: histogram(sizes) for role, sizes in sorted(by_role.items())}
+
+    def sampled_committee_sizes(self) -> dict[str, dict[int, int]]:
+        """Self-reported committee sizes from the ``sampled`` records.
+
+        Counts the processes whose private ``sample_i`` came up True, per
+        (instance, role), then histograms those counts by role family --
+        the trusted-setup-free twin of experiment F1's committee view.
+        """
+        sizes: dict[Hashable, int] = {}
+        for record in self.records_of("sampled"):
+            key = (record.get("instance"), record.get("role"))
+            sizes.setdefault(key, 0)
+            if record.get("member"):
+                sizes[key] += 1
+        by_role: dict[str, list[int]] = {}
+        for (_, role), size in sizes.items():
+            by_role.setdefault(self._role_family(role), []).append(size)
+        return {role: histogram(sizes) for role, sizes in sorted(by_role.items())}
+
+    def approver_grades(self) -> dict[int, int]:
+        """Histogram of approver return-set sizes (the 'grade')."""
+        return histogram(
+            record.get("grade") for record in self.records_of("approve")
+        )
+
+    def protocol_summary(self) -> dict[str, Any]:
+        """All protocol-record rollups in one JSON-friendly dict."""
+        return {
+            "rounds": self.rounds(),
+            "coin_invocations": self.coin_invocations(),
+            "coin_success_rate": self.coin_success_rate(),
+            "committee_sizes": self.committee_sizes(),
+            "sampled_committee_sizes": self.sampled_committee_sizes(),
+            "approver_grades": self.approver_grades(),
+        }

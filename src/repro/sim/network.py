@@ -16,10 +16,20 @@ nothing is ever dropped -- the adversary only reorders.
 from __future__ import annotations
 
 import random
+import time
 from typing import Any, Callable
 
 from repro.crypto.pki import PKI
 from repro.sim.adversary import Adversary
+from repro.sim.events import (
+    CorruptEvent,
+    DeliverEvent,
+    EventBus,
+    SendEvent,
+    WaitBlockEvent,
+    WaitWakeEvent,
+    summarize_payload,
+)
 from repro.sim.messages import Envelope, EnvelopeView, Message
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.process import ProcessContext, ProtocolFactory, Wait
@@ -105,6 +115,13 @@ class Simulation:
         every pending condition after every delivery (the pre-subscription
         behaviour).  Exists so equivalence tests can diff the keyed and
         eager paths.
+    profile:
+        When True, wall-clock timers wrap the kernel sections (scheduler
+        choice, delivery/stepping, signature+VRF verification) and every
+        :meth:`~repro.sim.process.ProcessContext.span`; totals land in
+        ``metrics.phase_timings``.  Off by default: timing every delivery
+        is not free and wall-clock is the one observable that legitimately
+        differs between identical runs.
     """
 
     def __init__(
@@ -118,6 +135,7 @@ class Simulation:
         max_deliveries: int = DEFAULT_MAX_DELIVERIES,
         stop_condition: Callable[["Simulation"], bool] | None = None,
         eager_wakeups: bool = False,
+        profile: bool = False,
     ) -> None:
         if pki.n != n:
             raise ValueError("PKI size does not match n")
@@ -132,7 +150,13 @@ class Simulation:
         self.max_deliveries = max_deliveries
         self.stop_condition = stop_condition
         self.eager_wakeups = eager_wakeups
+        self.profile = profile
         self.metrics = MetricsRecorder()
+        # The kernel event bus.  Emission sites read this list reference
+        # directly: `if subscribers:` is the whole no-subscriber cost.
+        self.events = EventBus()
+        self._subscribers = self.events.subscribers
+        self.deliveries = 0
 
         self.contexts = [ProcessContext(pid, self) for pid in range(n)]
         self.corrupted: set[int] = set()
@@ -180,6 +204,20 @@ class Simulation:
         )
         self._next_seq += 1
         self.metrics.record_send(envelope)
+        if self._subscribers:
+            self.events.emit(
+                SendEvent(
+                    step=self.deliveries,
+                    seq=envelope.seq,
+                    sender=sender,
+                    dest=dest,
+                    instance=message.instance,
+                    message_kind=type(message).__name__,
+                    words=message.words(),
+                    depth=envelope.depth,
+                    sender_correct=envelope.sender_correct,
+                )
+            )
         self._in_flight[envelope.seq] = envelope
         self._seq_pos[envelope.seq] = len(self._seq_list)
         self._seq_list.append(envelope.seq)
@@ -204,6 +242,8 @@ class Simulation:
         if pid in self.corrupted or len(self.corrupted) >= self.f:
             return False
         self.corrupted.add(pid)
+        if self._subscribers:
+            self.events.emit(CorruptEvent(step=self.deliveries, pid=pid))
         self._generators.pop(pid, None)
         self._pending.pop(pid, None)
         behavior = self.adversary.behavior_factory(pid)
@@ -242,11 +282,40 @@ class Simulation:
             result = wait.condition(ctx.mailbox)
             if result is None:
                 self._pending[pid] = wait
+                if self._subscribers:
+                    self.events.emit(
+                        WaitBlockEvent(
+                            step=self.deliveries,
+                            pid=pid,
+                            description=wait.description,
+                            subscribed=wait.instances is not None,
+                        )
+                    )
                 return
             value = result
 
     def _deliver(self, envelope: Envelope) -> None:
         self.metrics.record_delivery(envelope)
+        if self._subscribers:
+            payload = envelope.payload
+            self.events.emit(
+                DeliverEvent(
+                    step=self.deliveries,
+                    seq=envelope.seq,
+                    sender=envelope.sender,
+                    dest=envelope.dest,
+                    instance=payload.instance,
+                    message_kind=type(payload).__name__,
+                    words=payload.words(),
+                    depth=envelope.depth,
+                    summary=summarize_payload(payload),
+                    payload=payload,
+                )
+            )
+        # The delivery counter advances before the delivery's effects, so
+        # sends and decisions triggered by this delivery are stamped with
+        # the post-delivery step (events above carry the pre-delivery one).
+        self.deliveries += 1
         pid = envelope.dest
         ctx = self.contexts[pid]
         ctx.depth = max(ctx.depth, envelope.depth)
@@ -272,6 +341,14 @@ class Simulation:
                     result = wait.condition(ctx.mailbox)
                     if result is not None:
                         self._pending[pid] = None
+                        if self._subscribers:
+                            self.events.emit(
+                                WaitWakeEvent(
+                                    step=self.deliveries,
+                                    pid=pid,
+                                    description=wait.description,
+                                )
+                            )
                         self._advance(pid, result, first=False)
                 else:
                     self.metrics.wait_skips += 1
@@ -319,34 +396,85 @@ class Simulation:
             if pid not in self.corrupted:
                 self._advance(pid, None, first=True)
 
-        deliveries = 0
         scheduler = self.adversary.scheduler
         corruption = self.adversary.corruption
-        while self._in_flight and deliveries < self.max_deliveries:
-            if self._should_stop():
-                self._stopped = True
-                break
-            seq = scheduler.choose(self._pool)
-            envelope = self._remove_in_flight(seq)
-            scheduler.on_delivered(seq)
-            self._deliver(envelope)
-            deliveries += 1
-            if len(self.corrupted) < self.f:
-                view = EnvelopeView.of(envelope)
-                for pid in corruption.on_delivery(view, frozenset(self.corrupted)):
-                    self.corrupt(pid)
-        else:
-            self._stopped = self._should_stop()
+        profile = self.profile
+        perf = time.perf_counter
+        restore_verify = self._install_verify_timers() if profile else None
+        try:
+            while self._in_flight and self.deliveries < self.max_deliveries:
+                if self._should_stop():
+                    self._stopped = True
+                    break
+                if profile:
+                    start = perf()
+                    seq = scheduler.choose(self._pool)
+                    chosen = perf()
+                    self.metrics.add_timing("kernel.schedule", chosen - start)
+                    envelope = self._remove_in_flight(seq)
+                    scheduler.on_delivered(seq)
+                    self._deliver(envelope)
+                    self.metrics.add_timing("kernel.step", perf() - chosen)
+                else:
+                    seq = scheduler.choose(self._pool)
+                    envelope = self._remove_in_flight(seq)
+                    scheduler.on_delivered(seq)
+                    self._deliver(envelope)
+                if len(self.corrupted) < self.f:
+                    view = EnvelopeView.of(envelope)
+                    for pid in corruption.on_delivery(view, frozenset(self.corrupted)):
+                        self.corrupt(pid)
+            else:
+                self._stopped = self._should_stop()
+        finally:
+            if restore_verify is not None:
+                restore_verify()
 
-        self.deliveries = deliveries
         # A run that hits its stop condition on exactly the last permitted
         # delivery terminated normally; only report exhaustion when the
         # budget ran out *without* the condition holding.
-        self.exhausted = deliveries >= self.max_deliveries and not self._stopped
+        self.exhausted = self.deliveries >= self.max_deliveries and not self._stopped
         self.metrics.record_verification_counters(
             verify_base, self.pki.verification_counters()
         )
         return self
+
+    def _install_verify_timers(self) -> Callable[[], None]:
+        """Wrap the PKI's verify entry points with wall-clock accumulators.
+
+        Only active under ``profile=True``.  The wrappers are instance
+        attributes shadowing the bound methods, so the (possibly shared)
+        PKI object is restored by the returned callable as soon as the run
+        loop exits.  Verification time is nested inside ``kernel.step``.
+        """
+        pki = self.pki
+        metrics = self.metrics
+        perf = time.perf_counter
+        original_vrf = pki.vrf_verify
+        original_sig = pki.signature_verify
+
+        def timed_vrf(process_id, alpha, output):
+            start = perf()
+            try:
+                return original_vrf(process_id, alpha, output)
+            finally:
+                metrics.add_timing("kernel.verify", perf() - start)
+
+        def timed_sig(process_id, message, signature):
+            start = perf()
+            try:
+                return original_sig(process_id, message, signature)
+            finally:
+                metrics.add_timing("kernel.verify", perf() - start)
+
+        pki.vrf_verify = timed_vrf  # type: ignore[method-assign]
+        pki.signature_verify = timed_sig  # type: ignore[method-assign]
+
+        def restore() -> None:
+            del pki.vrf_verify
+            del pki.signature_verify
+
+        return restore
 
     # -- post-run inspection ----------------------------------------------------
 

@@ -17,14 +17,18 @@ body blocks on the final return condition.
 from __future__ import annotations
 
 import random
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Generator, Hashable, Iterable
 
 from repro.crypto.hashing import derive_seed
 from repro.crypto.pki import PKI
 from repro.crypto.vrf import VRFOutput
+from repro.sim.events import DecideEvent, PhaseEvent
 from repro.sim.mailbox import Mailbox
 from repro.sim.messages import Message
+from repro.sim.metrics import ProtocolRecord
 
 if TYPE_CHECKING:
     from repro.sim.network import Simulation
@@ -132,6 +136,73 @@ class ProcessContext:
         self.background_handlers.append(handler)
         handler(self.mailbox)
 
+    # -- observability -----------------------------------------------------------
+
+    def annotate(self, kind: str, **facts: Any) -> None:
+        """Append one structured protocol fact to the run's record log.
+
+        The paper's per-round quantities (round outcomes, coin
+        invocations, observed committee sizes, approver grades) flow
+        through here; :meth:`repro.sim.metrics.MetricsRecorder.protocol_summary`
+        rolls them up.  Always on -- recording a run must not change it,
+        so the facts exist whether or not anything subscribes to the
+        event bus.  Keep ``facts`` values JSON-friendly.
+        """
+        simulation = self._simulation
+        simulation.metrics.protocol_records.append(
+            ProtocolRecord(
+                step=simulation.deliveries,
+                pid=self.pid,
+                kind=kind,
+                data=tuple(facts.items()),
+            )
+        )
+
+    @contextmanager
+    def span(self, phase: str, instance: Hashable = None):
+        """Mark a protocol phase: emits enter/exit events, times it if profiling.
+
+        Safe around ``yield from`` inside protocol generators -- the span
+        closes when the generator passes the block's end.  Wall-clock
+        accumulates under ``span.<phase>`` in ``metrics.phase_timings``
+        when the simulation profiles; note that a generator span's
+        wall-clock includes time the process spent blocked, which is
+        exactly the flight-recorder view of latency.
+
+        A span abandoned mid-flight -- the harness stopped the run while
+        this process was inside it, so its generator is torn down later,
+        at garbage-collection time -- emits no exit event and records no
+        timing: the run is already snapshotted by then, and appending to
+        a recorder post-run would corrupt the recording.
+        """
+        simulation = self._simulation
+        if simulation.events.subscribers:
+            simulation.events.emit(
+                PhaseEvent(
+                    step=simulation.deliveries,
+                    pid=self.pid,
+                    phase=phase,
+                    instance=instance,
+                    action="enter",
+                )
+            )
+        start = time.perf_counter() if simulation.profile else None
+        yield
+        if start is not None:
+            simulation.metrics.add_timing(
+                f"span.{phase}", time.perf_counter() - start
+            )
+        if simulation.events.subscribers:
+            simulation.events.emit(
+                PhaseEvent(
+                    step=simulation.deliveries,
+                    pid=self.pid,
+                    phase=phase,
+                    instance=instance,
+                    action="exit",
+                )
+            )
+
     # -- decisions -------------------------------------------------------------
 
     def decide(self, value: Any) -> None:
@@ -146,7 +217,17 @@ class ProcessContext:
         self.decided = True
         self.decision = value
         self.decision_depth = self.depth
-        self._simulation.note_decision(self.pid)
+        simulation = self._simulation
+        simulation.note_decision(self.pid)
+        if simulation.events.subscribers:
+            simulation.events.emit(
+                DecideEvent(
+                    step=simulation.deliveries,
+                    pid=self.pid,
+                    value=value,
+                    depth=self.depth,
+                )
+            )
 
     # -- cryptography (own keys only) -------------------------------------------
 

@@ -101,6 +101,29 @@ class RunResult:
             self.returns[pid] for pid in self.correct_pids if pid in self.returns
         }
 
+    # -- protocol-record rollups (delegated to the metrics recorder) -----------
+
+    @property
+    def rounds(self) -> list[dict[str, Any]]:
+        """Round-indexed rollup of the protocol's ``round`` annotations."""
+        return self.metrics.rounds()
+
+    @property
+    def coin_invocations(self) -> list[dict[str, Any]]:
+        return self.metrics.coin_invocations()
+
+    @property
+    def coin_success_rate(self) -> float:
+        return self.metrics.coin_success_rate()
+
+    @property
+    def committee_sizes(self) -> dict[str, dict[int, int]]:
+        return self.metrics.committee_sizes()
+
+    @property
+    def protocol_summary(self) -> dict[str, Any]:
+        return self.metrics.protocol_summary()
+
     @staticmethod
     def of(simulation: Simulation) -> "RunResult":
         return RunResult(
@@ -147,6 +170,8 @@ def run_protocol(
     protocols_by_pid: dict[int, ProtocolFactory] | None = None,
     verify_cache: bool = True,
     eager_wakeups: bool = False,
+    profile: bool = False,
+    subscribers: list[Callable[[Any], None]] | None = None,
 ) -> RunResult:
     """Run one protocol instance end to end and snapshot the result.
 
@@ -158,6 +183,13 @@ def run_protocol(
     ``eager_wakeups=True`` disables instance-keyed wait wakeups.  Both
     exist for equivalence testing and benchmarking against the uncached
     kernel.
+
+    ``profile=True`` turns on the wall-clock kernel/span timers
+    (``metrics.phase_timings``); ``subscribers`` attaches kernel
+    event-bus callbacks before the run starts (e.g. a
+    ``FlightRecorder.on_event`` or ``TraceRecorder.on_event``).  Both are
+    off by default so an unobserved run does no observability work beyond
+    one list-truthiness check per emission site.
     """
     rng = random.Random(derive_seed(seed, "setup"))
     if pki is None:
@@ -179,7 +211,10 @@ def run_protocol(
         max_deliveries=max_deliveries,
         stop_condition=stop_condition,
         eager_wakeups=eager_wakeups,
+        profile=profile,
     )
+    for subscriber in subscribers or ():
+        simulation.events.subscribe(subscriber)
     simulation.set_protocol_all(protocol)
     if protocols_by_pid:
         for pid, factory in protocols_by_pid.items():

@@ -1,16 +1,32 @@
 """Event tracing: an auditable record of a run.
 
-A :class:`TraceRecorder` attaches to a :class:`~repro.sim.network.Simulation`
-and logs sends, deliveries, corruptions and decisions in delivery order.
-Used by debugging sessions, the examples, and tests that assert causal
-ordering facts that the aggregate metrics cannot express (e.g. "every
-SECOND message was sent after its sender's FIRST quorum filled").
+A :class:`TraceRecorder` subscribes to a simulation's kernel event bus
+(:mod:`repro.sim.events`) and logs sends, deliveries, corruptions and
+decisions in delivery order.  Used by debugging sessions, the examples,
+and tests that assert causal ordering facts that the aggregate metrics
+cannot express (e.g. "every SECOND message was sent after its sender's
+FIRST quorum filled").
+
+Historically ``attach_trace`` monkeypatched the kernel's ``submit`` /
+``_deliver`` / ``corrupt`` methods; it is now a thin wrapper over
+``simulation.events.subscribe`` and exists for backward compatibility.
+New code that needs the full event taxonomy (wait blocking, protocol
+phases) or a persistable recording should subscribe a
+:class:`~repro.sim.flightrecorder.FlightRecorder` instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Hashable, Iterator
+
+from repro.sim.events import (
+    CorruptEvent,
+    DecideEvent,
+    DeliverEvent,
+    KernelEvent,
+    SendEvent,
+)
 
 if TYPE_CHECKING:
     from repro.sim.network import Simulation
@@ -25,6 +41,14 @@ class TraceEvent:
     ``kind`` is one of ``send``, ``deliver``, ``corrupt``, ``decide``.
     ``step`` is the global delivery counter at the time of the event, so
     events are totally ordered by (step, index-within-step).
+
+    ``detail`` is a decision's value, or -- for deliver events -- an
+    immutable :class:`~repro.sim.events.PayloadSummary` snapshot of the
+    payload (kind, instance, words, repr).  Earlier versions stored the
+    live payload object, which silently invalidated recordings whenever a
+    protocol mutated or reused a payload after delivery; code that needs
+    the live object should subscribe to the event bus directly and read
+    ``DeliverEvent.payload`` during the callback.
     """
 
     step: int
@@ -37,13 +61,55 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceEvent` rows; query helpers included."""
+    """Accumulates :class:`TraceEvent` rows; query helpers included.
+
+    Construct it standalone (tests build rows by hand) or subscribe its
+    :meth:`on_event` to a simulation's bus -- which is exactly what
+    :func:`attach_trace` does.  Only the four classic event kinds are
+    kept; the richer kernel taxonomy stays on the bus.
+    """
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
 
     def record(self, event: TraceEvent) -> None:
         self.events.append(event)
+
+    def on_event(self, event: KernelEvent) -> None:
+        """Bus subscriber: narrow kernel events into classic trace rows."""
+        if isinstance(event, SendEvent):
+            self.record(
+                TraceEvent(
+                    step=event.step,
+                    kind="send",
+                    pid=event.sender,
+                    peer=event.dest,
+                    instance=event.instance,
+                    message_kind=event.message_kind,
+                )
+            )
+        elif isinstance(event, DeliverEvent):
+            self.record(
+                TraceEvent(
+                    step=event.step,
+                    kind="deliver",
+                    pid=event.dest,
+                    peer=event.sender,
+                    instance=event.instance,
+                    message_kind=event.message_kind,
+                    # Immutable snapshot -- stays valid however the
+                    # protocol treats the payload object afterwards.
+                    detail=event.summary,
+                )
+            )
+        elif isinstance(event, CorruptEvent):
+            self.record(TraceEvent(step=event.step, kind="corrupt", pid=event.pid))
+        elif isinstance(event, DecideEvent):
+            self.record(
+                TraceEvent(
+                    step=event.step, kind="decide", pid=event.pid, detail=event.value
+                )
+            )
 
     # -- queries -----------------------------------------------------------
 
@@ -107,80 +173,18 @@ class TraceRecorder:
 
 
 def attach_trace(simulation: "Simulation") -> TraceRecorder:
-    """Attach a recorder to a not-yet-run simulation; returns it.
+    """Attach a recorder to a simulation's event bus; returns it.
 
-    Implemented by wrapping the kernel's ``submit``/``_deliver``/``corrupt``
-    and each context's ``decide`` -- no kernel hooks needed, and zero cost
-    when no trace is attached.
+    Idempotent: attaching twice to the same simulation returns the
+    recorder already attached instead of silently double-recording every
+    event (the failure mode of the old monkeypatch implementation).
+    Compatibility shim -- see the module docstring for the event-bus API
+    this now delegates to.
     """
+    existing = getattr(simulation, "_trace_recorder", None)
+    if existing is not None:
+        return existing
     recorder = TraceRecorder()
-    deliveries = {"count": 0}
-
-    original_submit = simulation.submit
-    original_deliver = simulation._deliver
-    original_corrupt = simulation.corrupt
-
-    def traced_submit(sender, dest, message):
-        recorder.record(
-            TraceEvent(
-                step=deliveries["count"],
-                kind="send",
-                pid=sender,
-                peer=dest,
-                instance=message.instance,
-                message_kind=type(message).__name__,
-            )
-        )
-        original_submit(sender, dest, message)
-
-    def traced_deliver(envelope):
-        recorder.record(
-            TraceEvent(
-                step=deliveries["count"],
-                kind="deliver",
-                pid=envelope.dest,
-                peer=envelope.sender,
-                instance=envelope.instance,
-                message_kind=type(envelope.payload).__name__,
-                # The payload itself, for trusted-measurement analyses
-                # (e.g. counting Lemma 4.2's 'common' values).  The trace
-                # is an observer's tool, not part of the adversary
-                # interface, so this does not weaken the model.
-                detail=envelope.payload,
-            )
-        )
-        deliveries["count"] += 1
-        original_deliver(envelope)
-
-    def traced_corrupt(pid):
-        corrupted = original_corrupt(pid)
-        if corrupted:
-            recorder.record(
-                TraceEvent(step=deliveries["count"], kind="corrupt", pid=pid)
-            )
-        return corrupted
-
-    simulation.submit = traced_submit  # type: ignore[method-assign]
-    simulation._deliver = traced_deliver  # type: ignore[method-assign]
-    simulation.corrupt = traced_corrupt  # type: ignore[method-assign]
-
-    for ctx in simulation.contexts:
-        original_decide = ctx.decide
-
-        def make_traced(original, pid):
-            def traced(value):
-                already = simulation.contexts[pid].decided
-                original(value)
-                if not already:
-                    recorder.record(
-                        TraceEvent(
-                            step=deliveries["count"],
-                            kind="decide",
-                            pid=pid,
-                            detail=value,
-                        )
-                    )
-            return traced
-
-        ctx.decide = make_traced(original_decide, ctx.pid)  # type: ignore[method-assign]
+    simulation.events.subscribe(recorder.on_event)
+    simulation._trace_recorder = recorder
     return recorder

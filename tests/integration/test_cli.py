@@ -32,3 +32,26 @@ class TestCLI:
     def test_f1_tiny(self, capsys):
         assert main(["f1", "--n", "60", "--seeds", "3"]) == 0
         assert "committee" in capsys.readouterr().out
+
+    def test_record_then_report(self, capsys, tmp_path):
+        out = str(tmp_path / "flight.jsonl")
+        assert main(["record", "--n", "16", "--seed", "2", "--out", out]) == 0
+        recorded = capsys.readouterr().out
+        assert "recorded" in recorded and out in recorded
+
+        assert main(["report", out]) == 0
+        report = capsys.readouterr().out
+        for section in (
+            "round timeline",
+            "word complexity by kind / layer",
+            "coin",
+            "committee sizes (observed)",
+            "phase timings",
+            "critical path (deepest decision)",
+        ):
+            assert section in report
+        assert "DECIDES" in report
+
+    def test_report_without_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["report"])

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import dataclasses
 import random
+
+import pytest
 
 from repro.core.params import ProtocolParams
 from repro.core.shared_coin import shared_coin
 from repro.crypto.pki import PKI
 from repro.sim.adversary import Adversary, RandomScheduler, StaticCorruption
+from repro.sim.events import PayloadSummary
 from repro.sim.network import Simulation
 from repro.sim.trace import TraceEvent, TraceRecorder, attach_trace
 
@@ -81,3 +85,34 @@ class TestAttachedTrace:
         _, trace = run_traced_coin()
         sends = trace.of_kind("send")
         assert all(event.instance == ("shared_coin", 0) for event in sends)
+
+    def test_attach_is_idempotent(self):
+        """Attaching twice must not double-record every event."""
+        pki = PKI.create(10, rng=random.Random(3))
+        sim = Simulation(
+            n=10, f=2, pki=pki,
+            adversary=Adversary(
+                scheduler=RandomScheduler(random.Random(3)),
+                corruption=StaticCorruption({0, 1}),
+            ),
+            seed=3, params=ProtocolParams(n=10, f=2),
+        )
+        first = attach_trace(sim)
+        second = attach_trace(sim)
+        assert second is first
+        sim.set_protocol_all(lambda ctx: shared_coin(ctx, 0))
+        sim.run()
+        assert len(first.of_kind("deliver")) == sim.metrics.messages_delivered
+
+    def test_deliver_detail_is_immutable_summary(self):
+        """The detail field snapshots the payload instead of aliasing it."""
+        _, trace = run_traced_coin()
+        deliver = trace.of_kind("deliver")[0]
+        summary = deliver.detail
+        assert isinstance(summary, PayloadSummary)
+        assert summary.kind == deliver.message_kind
+        assert summary.instance == deliver.instance
+        assert summary.words > 0
+        assert summary.kind in summary.text
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            summary.words = 0
