@@ -7,13 +7,20 @@ constructed when someone listens.  This bench quantifies that bargain on
 a full BA run:
 
 * **Observer-effect freedom**: a run with a FlightRecorder subscribed
-  produces a byte-identical ``RunResult`` to the bare run (asserted).
+  produces a byte-identical ``RunResult`` to the bare run, and so does a
+  run with the full conformance MonitorSuite attached (both asserted) --
+  monitors may observe, never perturb (DESIGN.md section 8).
 * **No-subscriber overhead**: the guard cost is bounded by
   (emission-site executions) x (measured cost of one guard check),
   expressed as a fraction of the bare run's wall-clock.  Asserted < 3%.
   The bound is computed, not diffed against a bus-less build, so it is
   immune to machine noise -- a guard check is ~20ns and a BA delivery is
   ~100us of crypto and scheduling, so the margin is enormous.
+* **Monitor dispatch cost**: the recorded event log replayed through a
+  fresh MonitorSuite, timed, as a fraction of the bare run's wall-clock.
+  Asserted < 3% by the same computed-bound methodology: replay measures
+  exactly the per-event online work (append + dispatch + safety
+  bookkeeping) that a monitored run adds.
 * **Recording cost** (reported, not asserted): wall-clock of the same
   run with a recorder attached, i.e. what `repro record` actually pays.
 
@@ -31,18 +38,19 @@ import timeit
 from repro.experiments.protocols import make_runner
 from repro.experiments.store import to_jsonable
 from repro.sim.flightrecorder import FlightRecorder
+from repro.sim.monitors import MonitorSuite
 from repro.sim.runner import run_protocol, stop_when_all_decided
 
 ROOT_SEED = 2020
 
 
-def _ba_run(n: int, seed: int, subscribers=None):
+def _ba_run(n: int, seed: int, subscribers=None, monitors=None):
     factory, params, f = make_runner("whp_ba", n, seed=seed)
     start = time.perf_counter()
     result = run_protocol(
         n, f, factory, corrupt=set(range(f)), params=params,
         stop_condition=stop_when_all_decided, seed=seed,
-        subscribers=subscribers,
+        subscribers=subscribers, monitors=monitors,
     )
     return time.perf_counter() - start, result
 
@@ -69,6 +77,29 @@ def run_comparison(n: int, max_overhead: float = 0.03):
         "attaching a recorder changed the run's observable result"
     )
 
+    # ... and neither must checking it: the full conformance suite sees
+    # every event online and does its crypto only post-snapshot.
+    suite = MonitorSuite()
+    monitored_elapsed, monitored = _ba_run(n, ROOT_SEED, monitors=suite)
+    assert to_jsonable(bare) == to_jsonable(monitored), (
+        "attaching conformance monitors changed the run's observable result"
+    )
+    assert suite.ok, (
+        "safety monitor fired on a seed scenario:\n"
+        + "\n".join(v.describe() for v in suite.safety_violations)
+    )
+
+    # Monitor dispatch cost: the exact per-event online work a monitored
+    # run adds, measured by replaying the recorded log through a fresh
+    # suite (finalize-time analysis is post-run and excluded by design).
+    replay = MonitorSuite()
+    replay.begin_run()
+    start = time.perf_counter()
+    for event in recorder.events:
+        replay.on_event(event)
+    monitor_cost = time.perf_counter() - start
+    monitor_bound = monitor_cost / bare_elapsed if bare_elapsed else 0.0
+
     # Emission-site executions in this exact run, counted from the
     # recording: one guard per emitted event, plus the per-send and
     # per-delivery guards that fire even when their event is not the one
@@ -79,18 +110,28 @@ def run_comparison(n: int, max_overhead: float = 0.03):
     bound = guard_executions * per_guard / bare_elapsed if bare_elapsed else 0.0
 
     recording_ratio = recorded_elapsed / bare_elapsed if bare_elapsed else 1.0
+    monitored_ratio = monitored_elapsed / bare_elapsed if bare_elapsed else 1.0
     report = (
         f"observability overhead: whp_ba n={n} seed={ROOT_SEED} "
         f"({bare.deliveries} deliveries)\n"
         f"  bare run        : {bare_elapsed:8.3f}s\n"
         f"  recorded run    : {recorded_elapsed:8.3f}s "
         f"({recording_ratio:.2f}x, {len(recorder.events)} events)\n"
+        f"  monitored run   : {monitored_elapsed:8.3f}s "
+        f"({monitored_ratio:.2f}x, incl. finalize; "
+        f"{len(suite.violations)} violations)\n"
         f"  guard executions: {guard_executions} x {per_guard * 1e9:.1f}ns"
         f" = {guard_executions * per_guard * 1e3:.2f}ms\n"
-        f"  no-subscriber overhead bound: {bound:.4%} (limit {max_overhead:.0%})"
+        f"  no-subscriber overhead bound: {bound:.4%} (limit {max_overhead:.0%})\n"
+        f"  monitor dispatch bound      : {monitor_bound:.4%} "
+        f"({monitor_cost * 1e3:.2f}ms replayed, limit {max_overhead:.0%})"
     )
     assert bound < max_overhead, (
         f"no-subscriber bus overhead bound {bound:.4%} exceeds "
+        f"{max_overhead:.0%}\n" + report
+    )
+    assert monitor_bound < max_overhead, (
+        f"monitor dispatch bound {monitor_bound:.4%} exceeds "
         f"{max_overhead:.0%}\n" + report
     )
     return report, bound

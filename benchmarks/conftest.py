@@ -4,6 +4,13 @@ Every ``bench_*`` file both *times* a representative workload (ordinary
 pytest-benchmark usage) and *regenerates* its paper artefact, printing
 the table and saving it under ``benchmarks/results/`` so EXPERIMENTS.md
 can be refreshed from the files.
+
+Both save fixtures also feed the cross-run trend store
+(:mod:`repro.experiments.trends`): each benchmark leaves a
+``BENCH_<name>.json`` snapshot at the repository root and appends to the
+``BENCH_trends.jsonl`` journal, so ``python -m repro trends`` can show
+the trajectory (and drift) of every benchmark over time, not just its
+latest table.
 """
 
 from __future__ import annotations
@@ -13,16 +20,20 @@ from pathlib import Path
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
 def save_report():
     """Persist one experiment's rendered table; returns the file path."""
+    from repro.experiments.trends import record_bench
+
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(name: str, text: str) -> Path:
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        record_bench(name, {"report": text}, root=REPO_ROOT)
         print(f"\n{text}\n[saved to {path}]")
         return path
 
@@ -33,11 +44,15 @@ def save_report():
 def save_json():
     """Persist one experiment's raw rows as JSON (machine-readable twin of
     ``save_report``); later runs can be drift-checked against it with
-    :func:`repro.experiments.store.compare_results`."""
+    :func:`repro.experiments.store.compare_results` or
+    ``python -m repro trends``."""
     from repro.experiments.store import save_results
+    from repro.experiments.trends import record_bench
 
     def _save(name: str, payload):
-        return save_results(name, payload, RESULTS_DIR)
+        path = save_results(name, payload, RESULTS_DIR)
+        record_bench(name, payload, root=REPO_ROOT)
+        return path
 
     return _save
 

@@ -8,10 +8,18 @@ and for refreshing ``benchmarks/results`` piecemeal::
     python -m repro e6 --seeds 40        # the ablation
     python -m repro all --quick          # everything, smoke-scale
 
-plus the flight-recorder pair::
+plus the flight-recorder family::
 
     python -m repro record --n 100 --out flight.jsonl   # run + record BA
     python -m repro report flight.jsonl                 # render the report
+    python -m repro export flight.jsonl                 # Perfetto trace JSON
+
+and the conformance pair (see DESIGN.md section 8)::
+
+    python -m repro check --n 24 --seeds 6   # monitored sweep; writes
+                                             # BENCH_conformance.json,
+                                             # exits 1 on safety violations
+    python -m repro trends                   # cross-run drift tables
 """
 
 from __future__ import annotations
@@ -156,7 +164,52 @@ def _run_report(args) -> str:
 
     if not args.path:
         raise SystemExit("usage: python -m repro report <recording.jsonl>")
-    return report.render_report_file(args.path)
+    try:
+        return report.render_report_file(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"repro report: no such recording: {args.path}")
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro report: {exc}")
+
+
+def _run_export(args) -> str:
+    from repro.sim.flightrecorder import load_recording
+    from repro.sim.traceexport import save_chrome_trace
+
+    if not args.path:
+        raise SystemExit("usage: python -m repro export <recording.jsonl>")
+    out = args.out or str(args.path).removesuffix(".jsonl") + ".trace.json"
+    try:
+        recording = load_recording(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"repro export: no such recording: {args.path}")
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro export: {exc}")
+    path = save_chrome_trace(out, recording)
+    return (
+        f"exported {len(recording.events)} kernel events -> {path}\n"
+        "open in https://ui.perfetto.dev or chrome://tracing"
+    )
+
+
+def _run_check(args) -> tuple[str, int]:
+    from repro.experiments import conformance
+
+    protocols = tuple(args.protocols.split(",")) if args.protocols else None
+    payload = conformance.run_check(
+        protocols=protocols or conformance.DEFAULT_PROTOCOLS,
+        n=args.n or 24,
+        seeds=range(args.seeds or 6),
+    )
+    path = conformance.write_conformance(payload)
+    text = conformance.format_check(payload) + f"\n[saved to {path}]"
+    return text, 0 if payload["ok"] else 1
+
+
+def _run_trends(args) -> str:
+    from repro.experiments import trends
+
+    return trends.render_trends(trends.TrendStore("."))
 
 # Quick-mode overrides: (n, seeds) small enough for a coffee-break run.
 _QUICK = {
@@ -171,9 +224,16 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Regenerate artefacts from 'Not a COINcidence' (PODC 2020).",
     )
-    parser.add_argument("command", choices=[*COMMANDS, "record", "report", "all", "list"])
     parser.add_argument(
-        "path", nargs="?", default=None, help="recording file (report command)"
+        "command",
+        choices=[
+            *COMMANDS, "record", "report", "export", "check", "trends",
+            "all", "list",
+        ],
+    )
+    parser.add_argument(
+        "path", nargs="?", default=None,
+        help="recording file (report/export commands)",
     )
     parser.add_argument("--n", type=int, default=None, help="system size override")
     parser.add_argument("--seeds", type=int, default=None, help="seed count override")
@@ -183,6 +243,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--protocol", default="whp_ba", help="protocol to record (record command)"
+    )
+    parser.add_argument(
+        "--protocols", default=None,
+        help="comma-separated protocol list (check command; default "
+        "whp_ba,mmr+alg1)",
     )
     parser.add_argument(
         "--no-profile", action="store_true",
@@ -201,10 +266,28 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {name:4s} {description}")
         print("  record  run one protocol with the flight recorder attached")
         print("  report  render a recorded run (round timeline, words, coin, ...)")
+        print("  export  convert a recording to Chrome/Perfetto trace JSON")
+        print("  check   monitored conformance sweep (paper-property checks)")
+        print("  trends  cross-run benchmark/conformance drift tables")
         return 0
 
-    if args.command in ("record", "report"):
-        print(_run_record(args) if args.command == "record" else _run_report(args))
+    if args.command in ("record", "report", "export"):
+        handler = {
+            "record": _run_record, "report": _run_report, "export": _run_export,
+        }[args.command]
+        print(handler(args))
+        return 0
+
+    if args.command == "check":
+        if args.quick:
+            args.n = args.n or 16
+            args.seeds = args.seeds or 2
+        text, code = _run_check(args)
+        print(text)
+        return code
+
+    if args.command == "trends":
+        print(_run_trends(args))
         return 0
 
     names = list(COMMANDS) if args.command == "all" else [args.command]

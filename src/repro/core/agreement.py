@@ -91,6 +91,10 @@ def byzantine_agreement(
     if value not in (0, 1):
         raise ValueError("Byzantine Agreement here is binary; propose 0 or 1")
     params = params or ctx.params
+    # The Validity ground truth: what this (correct-at-the-time) process
+    # actually proposed, compared against decisions by the conformance
+    # monitors (values repr-encoded like every protocol record).
+    ctx.annotate("propose", tag=tag, value=repr(value))
     est = value
     round_id = 0
     while max_rounds is None or round_id < max_rounds:

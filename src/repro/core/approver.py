@@ -209,6 +209,7 @@ def approve(
         instance=instance,
         grade=len(result),
         values=sorted(repr(value) for value in result),
+        input=repr(value),
         in_init=in_init,
         in_ok=in_ok,
     )

@@ -15,7 +15,7 @@ independent committees, exactly as Figure 1 of the paper illustrates.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Any, Hashable
+from typing import Any, Hashable, Iterable
 
 from repro.crypto.hashing import encode
 from repro.crypto.pki import PKI
@@ -24,6 +24,7 @@ from repro.core.params import ProtocolParams
 from repro.sim.process import ProcessContext
 
 __all__ = [
+    "committee_census",
     "committee_seed",
     "committee_val",
     "sample",
@@ -122,3 +123,28 @@ def sample_committee(
         if output.value < threshold:
             members.add(pid)
     return members
+
+
+def committee_census(
+    pki: PKI,
+    instance: Hashable,
+    role: Hashable,
+    params: ProtocolParams,
+    corrupted: Iterable[int] = (),
+) -> dict[str, int]:
+    """Ground-truth committee counts: the quantities S1-S4 bound.
+
+    Same trusted-setup view as :func:`sample_committee` (VRF *proofs*,
+    never verifications, so calling this does not perturb a run's
+    verification-cache counters), split against ``corrupted``:
+    ``size`` for S1/S2, ``correct`` for S3 (>= W), ``byzantine`` for
+    S4 (<= B).  The conformance monitors and the sampling experiments
+    share this as the reference the self-reported records are judged by.
+    """
+    members = sample_committee(pki, instance, role, params)
+    bad = set(corrupted)
+    return {
+        "size": len(members),
+        "correct": len(members - bad),
+        "byzantine": len(members & bad),
+    }

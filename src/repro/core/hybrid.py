@@ -53,6 +53,7 @@ def hybrid_agreement(
     if value not in (0, 1):
         raise ValueError("hybrid agreement is binary; propose 0 or 1")
     params = params or ctx.params
+    ctx.annotate("propose", tag="hybrid", value=repr(value))
     est = value
     for round_id in range(committee_rounds):
         est, decided = yield from agreement_round(

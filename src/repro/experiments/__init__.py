@@ -26,8 +26,9 @@ Modules: ``table1``, ``fig1``, ``coin_success``, ``common_values``,
 ``ablation``, ``mmr_ourcoin``, ``safety``, ``hybrid_fallback``,
 ``justification_ablation``; plus ``protocols`` (the registry),
 ``parallel`` (deterministic multi-seed sweep execution),
-``tables``/``ascii_plot`` (rendering) and ``store`` (JSON persistence
-with drift comparison).
+``tables``/``ascii_plot`` (rendering), ``store`` (JSON persistence
+with drift comparison), ``trends`` (the cross-run BENCH_* trend store)
+and ``conformance`` (the monitored `repro check` sweep).
 """
 
 from repro.experiments.tables import format_table

@@ -1,0 +1,182 @@
+"""`python -m repro check`: sweep protocols with the conformance monitors on.
+
+Runs each requested protocol over a seed sweep with one
+:class:`~repro.sim.monitors.MonitorSuite` attached per protocol (the
+suite accumulates across seeds -- that is what gives the coin-rho and
+S1-S4 Wilson intervals their trials), renders a conformance table per
+paper property, and persists the full payload as ``BENCH_conformance.json``
+through the trend store, so conformance itself has a cross-run
+trajectory.
+
+Exit discipline (used verbatim by the CI conformance job): any
+``"safety"``-severity violation -- Agreement, Validity, a committee
+membership lie -- makes the check fail; ``"whp"``-severity flags are
+reported with their observed rate against the paper's bound but do not
+fail the run, because the paper *promises* they happen with positive
+probability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.experiments.protocols import make_runner
+from repro.experiments.trends import record_bench
+from repro.sim.monitors import MonitorSuite
+from repro.sim.runner import run_protocol, stop_when_all_decided
+
+__all__ = [
+    "CONFORMANCE_SCHEMA",
+    "CONFORMANCE_SCHEMA_VERSION",
+    "DEFAULT_PROTOCOLS",
+    "format_check",
+    "run_check",
+    "write_conformance",
+]
+
+CONFORMANCE_SCHEMA = "repro.conformance"
+CONFORMANCE_SCHEMA_VERSION = 1
+
+# whp_ba exercises every monitor (coin, committees, approver, safety);
+# mmr+alg1 adds the Algorithm 1 shared-coin rho estimate.
+DEFAULT_PROTOCOLS = ("whp_ba", "mmr+alg1")
+
+
+def run_check(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    n: int = 24,
+    seeds: Iterable[int] = range(6),
+    max_deliveries: int | None = None,
+) -> dict[str, Any]:
+    """Run the monitored sweep; returns the JSON-ready conformance payload."""
+    seeds = list(seeds)
+    payload: dict[str, Any] = {
+        "schema": CONFORMANCE_SCHEMA,
+        "version": CONFORMANCE_SCHEMA_VERSION,
+        "n": n,
+        "seeds": seeds,
+        "protocols": {},
+    }
+    total_safety = 0
+    for name in protocols:
+        suite = MonitorSuite()
+        rows = []
+        for seed in seeds:
+            factory, params, f = make_runner(name, n, seed=seed)
+            kwargs: dict[str, Any] = {}
+            if max_deliveries is not None:
+                kwargs["max_deliveries"] = max_deliveries
+            result = run_protocol(
+                n, f, factory, corrupt=set(range(f)), params=params,
+                stop_condition=stop_when_all_decided, seed=seed,
+                monitors=suite, **kwargs,
+            )
+            rows.append(
+                {
+                    "seed": seed,
+                    "live": result.live,
+                    "all_correct_decided": result.all_correct_decided,
+                    "words": result.words,
+                    "duration": result.duration,
+                    "deliveries": result.deliveries,
+                }
+            )
+        conformance = suite.report()
+        total_safety += conformance["safety_violations"]
+        payload["protocols"][name] = {
+            "f": f,
+            "runs": rows,
+            "conformance": conformance,
+        }
+    payload["safety_violations"] = total_safety
+    payload["ok"] = total_safety == 0
+    return payload
+
+
+def write_conformance(payload: dict[str, Any], root: str = "."):
+    """Persist the payload as ``BENCH_conformance.json`` + a trend record."""
+    path, _ = record_bench("conformance", payload, root=root)
+    return path
+
+
+def _rate_cell(entry: dict[str, Any], bound: float | None, kind: str) -> str:
+    if not entry.get("trials"):
+        return "(no trials)"
+    interval = entry.get("interval")
+    lo, hi = (interval if interval else (0.0, 1.0))
+    cell = f"{entry['successes']}/{entry['trials']}"
+    cell += f"  rate={entry['mean']:.3f} [{lo:.3f}, {hi:.3f}]"
+    if bound is not None:
+        cell += f"  {kind}{bound:.3g}"
+        cell += "" if entry.get("conformant", True) else "  ** NON-CONFORMANT"
+    return cell
+
+
+def format_check(payload: dict[str, Any]) -> str:
+    """Human-readable conformance tables for the whole sweep."""
+    lines = [
+        f"conformance check: n={payload['n']}, seeds={payload['seeds']}",
+    ]
+    for name, entry in payload["protocols"].items():
+        conformance = entry["conformance"]
+        monitors = conformance["monitors"]
+        decided = sum(1 for row in entry["runs"] if row["all_correct_decided"])
+        lines.append("")
+        lines.append(
+            f"== {name} (f={entry['f']}): {decided}/{len(entry['runs'])} runs "
+            f"decided, {conformance['safety_violations']} safety violations, "
+            f"{conformance['whp_flags']} whp flags"
+        )
+        safety = monitors.get("safety")
+        if safety:
+            lines.append(
+                f"  safety    : {safety['decisions_checked']} decisions checked; "
+                f"Agreement violations={safety['agreement_violations']}, "
+                f"Validity violations={safety['validity_violations']}"
+            )
+        committee = monitors.get("committee")
+        if committee and committee["committees_checked"]:
+            lines.append(
+                f"  committees: {committee['committees_checked']} checked "
+                "(failure rate vs Chernoff bound)"
+            )
+            for prop, stats in committee["properties"].items():
+                failures = {
+                    "successes": stats["successes"],
+                    "trials": stats["trials"],
+                    "mean": stats["mean"],
+                    "interval": stats["interval"],
+                    "conformant": stats["conformant"],
+                }
+                lines.append(
+                    f"    {prop}: "
+                    + _rate_cell(failures, stats.get("chernoff_bound"), "bound=")
+                )
+        coin = monitors.get("coin")
+        if coin and coin["variants"]:
+            lines.append("  coins     : (success rate vs rho bound)")
+            for variant, stats in coin["variants"].items():
+                lines.append(
+                    f"    {variant}: "
+                    + _rate_cell(stats, stats.get("rho_bound"), "rho>=")
+                )
+        approver = monitors.get("approver")
+        if approver and approver["instances_checked"]:
+            ga = approver["graded_agreement"]
+            grades = ", ".join(
+                f"|{grade}|x{count}" for grade, count in approver["grades"].items()
+            )
+            lines.append(
+                f"  approvers : {approver['instances_checked']} instances; "
+                f"Graded Agreement {ga['successes']}/{ga['trials']}; "
+                f"grades {grades}"
+            )
+        for violation in conformance["violations"]:
+            lines.append(
+                f"  ! [{violation['severity']}] "
+                f"{violation['monitor']}/{violation['property']} "
+                f"step {violation['step']}: {violation['message']}"
+            )
+    lines.append("")
+    lines.append("RESULT: " + ("OK" if payload["ok"] else "SAFETY VIOLATIONS"))
+    return "\n".join(lines)

@@ -82,13 +82,26 @@ def save_jsonl(path: str | Path, records: Any) -> Path:
 
 
 def load_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Read a JSONL file back as a list of dicts (blank lines skipped)."""
+    """Read a JSONL file back as a list of dicts (blank lines skipped).
+
+    A line that is not valid JSON raises ``ValueError`` naming the file
+    and line number -- the usual cause is a truncated write (killed run,
+    full disk), and "line 812 is cut short" beats a bare decoder
+    traceback.
+    """
     records = []
     with Path(path).open() as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}: line {lineno} is not valid JSON ({exc.msg}); "
+                    "truncated or corrupt file?"
+                ) from exc
     return records
 
 

@@ -1,0 +1,159 @@
+"""Cross-run trend store: every benchmark leaves a machine-readable trail.
+
+The text tables under ``benchmarks/results`` answer "what happened this
+run"; this module answers "what has been happening".  A
+:class:`TrendStore` is a schema-versioned JSONL journal
+(``BENCH_trends.jsonl`` at the repository root, written through
+:mod:`repro.experiments.store`) that benchmarks and the conformance
+checker append one record per run to, plus a ``BENCH_<name>.json``
+latest-snapshot per series so CI artifacts and quick inspection never
+need to scan the journal.
+
+Records are ``{schema, version, ts, name, payload}``; foreign or
+future-versioned records fail loudly on load (same policy as flight
+recordings).  :meth:`TrendStore.regressions` diffs the two newest
+payloads of a series with :func:`repro.experiments.store.compare_results`,
+which is what ``python -m repro trends`` renders as the drift column.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.store import compare_results, load_jsonl, to_jsonable
+
+__all__ = [
+    "TREND_SCHEMA",
+    "TREND_SCHEMA_VERSION",
+    "TrendStore",
+    "bench_json_path",
+    "record_bench",
+    "render_trends",
+]
+
+TREND_SCHEMA = "repro.trends"
+TREND_SCHEMA_VERSION = 1
+TRENDS_FILENAME = "BENCH_trends.jsonl"
+
+
+def bench_json_path(name: str, root: str | Path = ".") -> Path:
+    """Where the latest snapshot of series ``name`` lives."""
+    return Path(root) / f"BENCH_{name}.json"
+
+
+class TrendStore:
+    """Append-only journal of benchmark/conformance summaries."""
+
+    def __init__(self, root: str | Path = ".") -> None:
+        self.root = Path(root)
+        self.path = self.root / TRENDS_FILENAME
+
+    def append(self, name: str, payload: Any, ts: float | None = None) -> dict:
+        """Append one record for series ``name``; returns the record."""
+        record = {
+            "schema": TREND_SCHEMA,
+            "version": TREND_SCHEMA_VERSION,
+            "ts": time.time() if ts is None else ts,
+            "name": name,
+            "payload": to_jsonable(payload),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True))
+            handle.write("\n")
+        return record
+
+    def load(self) -> list[dict]:
+        """All records, oldest first.  Raises ``ValueError`` on records
+        from a different schema or a future version (don't silently
+        misread someone else's journal)."""
+        if not self.path.exists():
+            return []
+        records = load_jsonl(self.path)
+        for index, record in enumerate(records, start=1):
+            if record.get("schema") != TREND_SCHEMA:
+                raise ValueError(
+                    f"{self.path}: record {index} has schema "
+                    f"{record.get('schema')!r}, expected {TREND_SCHEMA!r}"
+                )
+            if record.get("version") != TREND_SCHEMA_VERSION:
+                raise ValueError(
+                    f"{self.path}: record {index} has version "
+                    f"{record.get('version')!r}, this build reads "
+                    f"{TREND_SCHEMA_VERSION}"
+                )
+        return records
+
+    def names(self) -> list[str]:
+        return sorted({record["name"] for record in self.load()})
+
+    def history(self, name: str) -> list[dict]:
+        """All records of one series, oldest first."""
+        return [record for record in self.load() if record["name"] == name]
+
+    def latest(self, name: str) -> dict | None:
+        history = self.history(name)
+        return history[-1] if history else None
+
+    def regressions(self, name: str, rel_tol: float = 0.1) -> list[str]:
+        """Numeric drift between the two newest records of ``name``
+        (empty when within tolerance, or with fewer than two records)."""
+        history = self.history(name)
+        if len(history) < 2:
+            return []
+        return compare_results(
+            history[-2]["payload"], history[-1]["payload"], rel_tol=rel_tol
+        )
+
+
+def record_bench(
+    name: str, payload: Any, root: str | Path = "."
+) -> tuple[Path, dict]:
+    """Record one benchmark summary: append to the journal AND refresh
+    the ``BENCH_<name>.json`` snapshot.  Returns (snapshot path, record).
+
+    This is the one call sites use (``benchmarks/conftest.py``, the
+    conformance checker); keeping journal and snapshot in lockstep means
+    the snapshot is always the journal's newest record.
+    """
+    store = TrendStore(root)
+    record = store.append(name, payload)
+    path = bench_json_path(name, root)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path, record
+
+
+def render_trends(store: TrendStore, rel_tol: float = 0.1) -> str:
+    """The ``python -m repro trends`` table: one row per series with its
+    record count, newest timestamp, and drift vs the previous record."""
+    names = store.names()
+    if not names:
+        return (
+            f"no trend records at {store.path}\n"
+            "(benchmarks and `repro check` append here as they run)"
+        )
+    lines = [
+        f"trend store: {store.path}",
+        "",
+        f"{'series':<28} {'records':>7}  {'latest':<19}  drift vs previous",
+    ]
+    for name in names:
+        history = store.history(name)
+        newest = history[-1]
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(newest["ts"]))
+        drifts = store.regressions(name, rel_tol=rel_tol)
+        if len(history) < 2:
+            drift = "(first record)"
+        elif not drifts:
+            drift = f"none (within {rel_tol:.0%})"
+        else:
+            drift = f"{len(drifts)} field(s)"
+        lines.append(f"{name:<28} {len(history):>7}  {stamp:<19}  {drift}")
+        for description in drifts[:8]:
+            lines.append(f"{'':<28}   {description}")
+        if len(drifts) > 8:
+            lines.append(f"{'':<28}   ... and {len(drifts) - 8} more")
+    return "\n".join(lines)

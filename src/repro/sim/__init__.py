@@ -58,9 +58,24 @@ from repro.sim.flightrecorder import (
     save_recording,
 )
 from repro.sim.metrics import MetricsRecorder, ProtocolRecord, histogram
+from repro.sim.monitors import (
+    ApproverMonitor,
+    CoinMonitor,
+    CommitteeMonitor,
+    Monitor,
+    MonitorSuite,
+    SafetyMonitor,
+    ViolationReport,
+    default_monitors,
+)
 from repro.sim.network import Simulation
 from repro.sim.process import ProcessContext, Wait
 from repro.sim.trace import TraceEvent, TraceRecorder, attach_trace
+from repro.sim.traceexport import (
+    chrome_trace_events,
+    export_chrome_trace,
+    save_chrome_trace,
+)
 from repro.sim.runner import (
     RunResult,
     run_protocol,
@@ -72,7 +87,10 @@ __all__ = [
     "AdaptiveFirstSpeakersCorruption",
     "CommitteeTargetingCorruption",
     "Adversary",
+    "ApproverMonitor",
     "ByzantineBehavior",
+    "CoinMonitor",
+    "CommitteeMonitor",
     "ContentAwareMinWithholdScheduler",
     "CorruptEvent",
     "CrashBehavior",
@@ -84,6 +102,8 @@ __all__ = [
     "FlightRecorder",
     "KernelEvent",
     "Mailbox",
+    "Monitor",
+    "MonitorSuite",
     "PartitionScheduler",
     "Message",
     "MetricsRecorder",
@@ -94,6 +114,7 @@ __all__ = [
     "RandomScheduler",
     "ReplayScheduler",
     "RunResult",
+    "SafetyMonitor",
     "Scheduler",
     "SendEvent",
     "ScriptedBehavior",
@@ -104,16 +125,21 @@ __all__ = [
     "TargetedDelayScheduler",
     "TraceEvent",
     "TraceRecorder",
+    "ViolationReport",
     "Wait",
     "WaitBlockEvent",
     "WaitWakeEvent",
     "attach_trace",
+    "chrome_trace_events",
     "critical_path",
+    "default_monitors",
     "event_from_record",
     "event_to_record",
+    "export_chrome_trace",
     "histogram",
     "load_recording",
     "run_protocol",
+    "save_chrome_trace",
     "save_recording",
     "stop_when_all_decided",
     "stop_when_all_returned",

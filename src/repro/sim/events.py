@@ -270,12 +270,22 @@ def _as_instance(value: Any) -> Hashable:
     return value
 
 
-def event_from_record(record: dict[str, Any]) -> KernelEvent:
+def event_from_record(
+    record: dict[str, Any], version: int = EVENT_SCHEMA_VERSION
+) -> KernelEvent:
     """Rebuild a typed event from :func:`event_to_record` output.
 
     Tolerates JSON round-trips: instance tuples come back from lists.
-    Raises ``ValueError`` on unknown kinds, so schema drift fails loudly.
+    Raises ``ValueError`` on unknown kinds or an unknown schema
+    ``version`` (pass the recording header's version through), so schema
+    drift fails loudly instead of misrendering.
     """
+    if version != EVENT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unknown {EVENT_SCHEMA} schema version {version!r}: this build "
+            f"reads version {EVENT_SCHEMA_VERSION}; re-record the run or "
+            "load it with a matching build"
+        )
     data = dict(record)
     kind = data.pop("k", None)
     cls = _EVENT_TYPES.get(kind)

@@ -166,20 +166,27 @@ def _persistable(events: list[KernelEvent]) -> list[KernelEvent]:
 def load_recording(path: str | Path) -> Recording:
     """Load a :func:`save_recording` file back into typed events.
 
-    Raises ``ValueError`` on a missing/mismatched schema header, so stale
-    recordings fail loudly rather than misrender.
+    Raises ``ValueError`` on anything that is not a complete recording of
+    this build's schema -- empty file, missing header, unknown schema or
+    version, a truncated line (diagnosed with its line number by the
+    store), or a missing summary footer (the writer always ends with one,
+    so its absence means the recording was cut short) -- so stale or
+    damaged recordings fail loudly rather than misrender.
     """
     from repro.experiments.store import load_jsonl
 
     records = load_jsonl(path)
-    if not records or records[0].get("k") != "header":
+    if not records:
+        raise ValueError(f"{path}: empty file (not a flight recording)")
+    if records[0].get("k") != "header":
         raise ValueError(f"{path}: not a flight recording (no header line)")
     header = records[0]
     if header.get("schema") != EVENT_SCHEMA:
         raise ValueError(f"{path}: unknown schema {header.get('schema')!r}")
-    if header.get("version") != EVENT_SCHEMA_VERSION:
+    version = header.get("version")
+    if version != EVENT_SCHEMA_VERSION:
         raise ValueError(
-            f"{path}: schema version {header.get('version')!r}, "
+            f"{path}: schema version {version!r}, "
             f"expected {EVENT_SCHEMA_VERSION}"
         )
     summary: dict[str, Any] = {}
@@ -188,12 +195,17 @@ def load_recording(path: str | Path) -> Recording:
         if record.get("k") == "summary":
             summary = record
             continue
-        events.append(event_from_record(record))
+        events.append(event_from_record(record, version=version))
+    if not summary:
+        raise ValueError(
+            f"{path}: no summary footer after {len(events)} events; "
+            "the recording is truncated"
+        )
     return Recording(header=header, events=tuple(events), summary=summary)
 
 
-def critical_path(events) -> list[dict[str, Any]]:
-    """Recover the causal chain behind the deepest decision in ``events``.
+def critical_path(events, target: DecideEvent | None = None) -> list[dict[str, Any]]:
+    """Recover the causal chain behind a decision in ``events``.
 
     The kernel threads a causal depth through every envelope (depth =
     sender's depth + 1; a receiver's depth is the max over its
@@ -203,13 +215,21 @@ def critical_path(events) -> list[dict[str, Any]]:
     brought it to its decision depth, jump to that message's sender via
     the matching send, and repeat until depth 0.
 
+    By default the chain ends at the deepest decision in the log (the
+    run's running time); pass ``target`` to explain a specific
+    :class:`DecideEvent` instead -- the conformance monitors use this to
+    attach the causal slice behind a violating decision.
+
     Returns the chain in causal order: a ``send``/``deliver`` entry per
     hop and a final ``decide`` entry.  Empty if nothing decided.
     """
-    decides = [event for event in events if type(event) is DecideEvent]
-    if not decides:
-        return []
-    deepest = max(decides, key=lambda event: (event.depth, -event.step))
+    if target is None:
+        decides = [event for event in events if type(event) is DecideEvent]
+        if not decides:
+            return []
+        deepest = max(decides, key=lambda event: (event.depth, -event.step))
+    else:
+        deepest = target
     sends_by_seq: dict[int, SendEvent] = {
         event.seq: event for event in events if type(event) is SendEvent
     }

@@ -172,6 +172,7 @@ def run_protocol(
     eager_wakeups: bool = False,
     profile: bool = False,
     subscribers: list[Callable[[Any], None]] | None = None,
+    monitors: Any = None,
 ) -> RunResult:
     """Run one protocol instance end to end and snapshot the result.
 
@@ -190,7 +191,20 @@ def run_protocol(
     ``FlightRecorder.on_event`` or ``TraceRecorder.on_event``).  Both are
     off by default so an unobserved run does no observability work beyond
     one list-truthiness check per emission site.
+
+    ``monitors`` attaches conformance monitors (a
+    :class:`~repro.sim.monitors.MonitorSuite` or an iterable of
+    :class:`~repro.sim.monitors.Monitor`): the suite subscribes to the
+    event bus for the run and is finalized against the snapshotted
+    result, so the paper's properties are checked online without
+    perturbing the run (see DESIGN.md section 8).  The same suite may be
+    passed to successive runs to accumulate cross-run statistics.
     """
+    suite = None
+    if monitors is not None:
+        from repro.sim.monitors import as_suite
+
+        suite = as_suite(monitors)
     rng = random.Random(derive_seed(seed, "setup"))
     if pki is None:
         pki = PKI.create(n, backend=backend, rng=rng, verify_cache=verify_cache)
@@ -215,9 +229,15 @@ def run_protocol(
     )
     for subscriber in subscribers or ():
         simulation.events.subscribe(subscriber)
+    if suite is not None:
+        suite.begin_run()
+        simulation.events.subscribe(suite.on_event)
     simulation.set_protocol_all(protocol)
     if protocols_by_pid:
         for pid, factory in protocols_by_pid.items():
             simulation.set_protocol(pid, factory)
     simulation.run()
-    return RunResult.of(simulation)
+    result = RunResult.of(simulation)
+    if suite is not None:
+        suite.finalize(result, simulation)
+    return result

@@ -1,0 +1,246 @@
+"""Chrome trace-event export: open a flight recording in a real viewer.
+
+:func:`export_chrome_trace` converts a recorded kernel-event log into the
+Chrome trace-event JSON format (the ``chrome://tracing`` / Perfetto
+object format), so a run becomes a scrollable timeline: one track (tid)
+per process, ``ba-round``/``whp_coin``/``approve`` spans as nested
+duration slices, wait-parks as slices between their block and wake,
+send->deliver message flow as flow arrows, decisions and corruptions as
+instant markers.
+
+The simulation has no wall clock -- causality is the only time the
+kernel knows -- so the exported timestamp axis is the *event-log index*
+(one microsecond per event).  That makes timestamps strictly monotonic
+(valid slice nesting is guaranteed) while preserving exactly the
+information the recording holds: the total order of kernel events.  The
+causal ``depth`` and kernel ``step`` of each event ride along in
+``args`` for inspection.
+
+Load the output via ``python -m repro export run.jsonl`` then *Open
+trace file* in https://ui.perfetto.dev (or ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.sim.events import (
+    CorruptEvent,
+    DecideEvent,
+    DeliverEvent,
+    KernelEvent,
+    PhaseEvent,
+    SendEvent,
+    WaitBlockEvent,
+    WaitWakeEvent,
+)
+from repro.sim.flightrecorder import Recording
+
+__all__ = ["chrome_trace_events", "export_chrome_trace", "save_chrome_trace"]
+
+# One synthetic trace "process" hosts every simulated process as a thread.
+_TRACE_PID = 0
+
+
+def _args(event: KernelEvent, **extra: Any) -> dict[str, Any]:
+    payload = {"step": event.step, **extra}
+    return {key: _jsonable(value) for key, value in payload.items()}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def chrome_trace_events(
+    events: Iterable[KernelEvent], header: dict[str, Any] | None = None
+) -> list[dict[str, Any]]:
+    """Flatten a kernel-event log into a list of Chrome trace events."""
+    trace: list[dict[str, Any]] = []
+    pids_seen: set[int] = set()
+
+    def thread_of(event: KernelEvent) -> int:
+        pid = event.dest if isinstance(event, DeliverEvent) else getattr(
+            event, "pid", getattr(event, "sender", 0)
+        )
+        pids_seen.add(pid)
+        return pid
+
+    for index, event in enumerate(events):
+        ts = index  # microseconds; see module docstring
+        kind = type(event)
+        if kind is PhaseEvent:
+            trace.append(
+                {
+                    "name": event.phase,
+                    "cat": "phase",
+                    "ph": "B" if event.action == "enter" else "E",
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": thread_of(event),
+                    "args": _args(event, instance=event.instance),
+                }
+            )
+        elif kind is SendEvent:
+            trace.append(
+                {
+                    "name": event.message_kind,
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": event.seq,
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": thread_of(event),
+                    "args": _args(
+                        event,
+                        dest=event.dest,
+                        instance=event.instance,
+                        words=event.words,
+                        depth=event.depth,
+                    ),
+                }
+            )
+        elif kind is DeliverEvent:
+            tid = thread_of(event)
+            trace.append(
+                {
+                    "name": event.message_kind,
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": event.seq,
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": tid,
+                    "args": _args(
+                        event,
+                        sender=event.sender,
+                        instance=event.instance,
+                        words=event.words,
+                        depth=event.depth,
+                    ),
+                }
+            )
+            trace.append(
+                {
+                    "name": f"deliver {event.message_kind}",
+                    "cat": "message",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": tid,
+                    "args": _args(
+                        event,
+                        seq=event.seq,
+                        sender=event.sender,
+                        instance=event.instance,
+                    ),
+                }
+            )
+        elif kind is WaitBlockEvent:
+            trace.append(
+                {
+                    "name": f"wait {event.description}",
+                    "cat": "wait",
+                    "ph": "B",
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": thread_of(event),
+                    "args": _args(event),
+                }
+            )
+        elif kind is WaitWakeEvent:
+            trace.append(
+                {
+                    "name": f"wait {event.description}",
+                    "cat": "wait",
+                    "ph": "E",
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": thread_of(event),
+                    "args": _args(event),
+                }
+            )
+        elif kind is DecideEvent:
+            trace.append(
+                {
+                    "name": f"decide {event.value!r}",
+                    "cat": "decision",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": thread_of(event),
+                    "args": _args(event, value=event.value, depth=event.depth),
+                }
+            )
+        elif kind is CorruptEvent:
+            trace.append(
+                {
+                    "name": "corrupted",
+                    "cat": "corruption",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": ts,
+                    "pid": _TRACE_PID,
+                    "tid": thread_of(event),
+                    "args": _args(event),
+                }
+            )
+
+    run = ""
+    if header:
+        run = f"n={header.get('n')} f={header.get('f')} seed={header.get('seed')}"
+    metadata: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "args": {"name": f"repro run {run}".strip()},
+        }
+    ]
+    threads = set(range(header["n"])) if header and "n" in header else pids_seen
+    corrupted = set(header.get("corrupted", ())) if header else set()
+    for pid in sorted(threads):
+        label = f"process {pid}" + (" (corrupted)" if pid in corrupted else "")
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": pid,
+                "args": {"name": label},
+            }
+        )
+    return metadata + trace
+
+
+def export_chrome_trace(recording: Recording) -> dict[str, Any]:
+    """A :class:`Recording` as a Chrome trace-event JSON object."""
+    return {
+        "traceEvents": chrome_trace_events(recording.events, recording.header),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro flight recording",
+            **{
+                key: _jsonable(value)
+                for key, value in recording.header.items()
+                if key != "k"
+            },
+            "deliveries": recording.summary.get("deliveries"),
+            "duration": recording.summary.get("duration"),
+            "words": recording.summary.get("words"),
+        },
+    }
+
+
+def save_chrome_trace(path: str | Path, recording: Recording) -> Path:
+    """Write ``recording`` to ``path`` as a Perfetto-loadable trace."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(export_chrome_trace(recording)) + "\n")
+    return path

@@ -1,0 +1,209 @@
+"""The conformance pipeline: trend store, `repro check`/`trends`/`export`
+CLI, and the one-line diagnostics for damaged recordings."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import conformance
+from repro.experiments.trends import (
+    TrendStore,
+    bench_json_path,
+    record_bench,
+    render_trends,
+)
+
+
+class TestTrendStore:
+    def test_append_load_history(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench_x", {"words": 100}, ts=1.0)
+        store.append("bench_x", {"words": 110}, ts=2.0)
+        store.append("bench_y", {"rate": 0.5}, ts=3.0)
+        assert store.names() == ["bench_x", "bench_y"]
+        history = store.history("bench_x")
+        assert [r["payload"]["words"] for r in history] == [100, 110]
+        assert store.latest("bench_x")["ts"] == 2.0
+        assert store.latest("missing") is None
+
+    def test_empty_store(self, tmp_path):
+        store = TrendStore(tmp_path)
+        assert store.load() == []
+        assert "no trend records" in render_trends(store)
+
+    def test_regressions_beyond_tolerance(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100}, ts=1.0)
+        store.append("bench", {"words": 200}, ts=2.0)
+        drifts = store.regressions("bench", rel_tol=0.1)
+        assert len(drifts) == 1 and "words" in drifts[0]
+        assert store.regressions("bench", rel_tol=2.0) == []
+
+    def test_foreign_schema_rejected(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.path.write_text('{"schema": "other.thing", "version": 1}\n')
+        with pytest.raises(ValueError, match="schema"):
+            store.load()
+
+    def test_truncated_journal_diagnosed_with_line_number(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100})
+        with store.path.open("a") as handle:
+            handle.write('{"schema": "repro.trends", "vers')  # cut mid-write
+        with pytest.raises(ValueError, match="line 2"):
+            store.load()
+
+    def test_record_bench_writes_snapshot_and_journal(self, tmp_path):
+        path, record = record_bench("observability", {"bound": 0.01}, tmp_path)
+        assert path == bench_json_path("observability", tmp_path)
+        snapshot = json.loads(path.read_text())
+        assert snapshot["payload"] == {"bound": 0.01}
+        assert snapshot == record
+        assert TrendStore(tmp_path).latest("observability") == record
+
+    def test_render_trends_table(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100}, ts=1.0)
+        store.append("bench", {"words": 500}, ts=2.0)
+        table = render_trends(store)
+        assert "bench" in table
+        assert "words" in table  # the drift line names the field
+
+
+class TestRunCheck:
+    def test_clean_sweep_passes(self):
+        payload = conformance.run_check(
+            protocols=("whp_ba",), n=16, seeds=range(2)
+        )
+        assert payload["ok"]
+        assert payload["safety_violations"] == 0
+        entry = payload["protocols"]["whp_ba"]
+        assert len(entry["runs"]) == 2
+        assert entry["conformance"]["runs"] == 2
+        text = conformance.format_check(payload)
+        assert "RESULT: OK" in text
+        assert "whp_ba" in text
+        assert "S1" in text and "rho" in text
+
+    def test_payload_is_json_serializable(self):
+        payload = conformance.run_check(protocols=("whp_ba",), n=16, seeds=[0])
+        json.dumps(payload)
+
+
+class TestCheckCLI:
+    def test_check_writes_conformance_json(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["check", "--n", "16", "--seeds", "2", "--protocols", "whp_ba"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "RESULT: OK" in out
+        conformance_json = tmp_path / "BENCH_conformance.json"
+        assert conformance_json.exists()
+        payload = json.loads(conformance_json.read_text())["payload"]
+        assert payload["ok"] is True
+        assert (tmp_path / "BENCH_trends.jsonl").exists()
+
+    def test_trends_renders_after_check(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        main(["check", "--n", "16", "--seeds", "1", "--protocols", "whp_ba"])
+        capsys.readouterr()
+        assert main(["trends"]) == 0
+        out = capsys.readouterr().out
+        assert "conformance" in out
+        assert "(first record)" in out
+
+    def test_check_listed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("check", "trends", "export"):
+            assert name in out
+
+
+class TestExportCLI:
+    def test_record_then_export(self, capsys, tmp_path):
+        recording = str(tmp_path / "flight.jsonl")
+        assert main(["record", "--n", "16", "--seed", "2", "--out", recording]) == 0
+        capsys.readouterr()
+        assert main(["export", recording]) == 0
+        out = capsys.readouterr().out
+        assert "exported" in out and "perfetto" in out.lower()
+        trace = json.loads((tmp_path / "flight.trace.json").read_text())
+        assert trace["traceEvents"]
+
+    def test_export_without_path_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["export"])
+
+
+class TestReportDiagnostics:
+    """Satellite: damaged recordings exit with one-line diagnostics."""
+
+    def test_missing_recording(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", "does_not_exist.jsonl"])
+        assert "no such recording" in str(excinfo.value)
+
+    def test_empty_recording(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", str(empty)])
+        assert "empty file" in str(excinfo.value)
+
+    def test_truncated_line_diagnosed(self, capsys, tmp_path):
+        recording = tmp_path / "flight.jsonl"
+        assert main(
+            ["record", "--n", "16", "--seed", "2", "--out", str(recording)]
+        ) == 0
+        capsys.readouterr()
+        text = recording.read_text()
+        recording.write_text(text[: len(text) // 2])  # cut mid-line
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", str(recording)])
+        message = str(excinfo.value)
+        assert "truncated" in message and "line" in message
+
+    def test_missing_footer_diagnosed(self, capsys, tmp_path):
+        recording = tmp_path / "flight.jsonl"
+        assert main(
+            ["record", "--n", "16", "--seed", "2", "--out", str(recording)]
+        ) == 0
+        capsys.readouterr()
+        lines = recording.read_text().splitlines()
+        recording.write_text("\n".join(lines[:-1]) + "\n")  # drop the footer
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", str(recording)])
+        assert "truncated" in str(excinfo.value)
+
+    def test_export_missing_recording(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["export", "nope.jsonl"])
+        assert "no such recording" in str(excinfo.value)
+
+
+class TestEventSchemaVersion:
+    def test_unknown_version_descriptive(self):
+        from repro.sim.events import event_from_record
+
+        with pytest.raises(ValueError, match="unknown repro.flight schema"):
+            event_from_record({"k": "decide"}, version=99)
+
+    def test_versioned_recording_rejected_loudly(self, capsys, tmp_path):
+        recording = tmp_path / "flight.jsonl"
+        assert main(
+            ["record", "--n", "16", "--seed", "2", "--out", str(recording)]
+        ) == 0
+        capsys.readouterr()
+        lines = recording.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        lines[0] = json.dumps(header)
+        recording.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["report", str(recording)])
+        assert "version" in str(excinfo.value)
