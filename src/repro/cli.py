@@ -14,12 +14,18 @@ plus the flight-recorder family::
     python -m repro report flight.jsonl                 # render the report
     python -m repro export flight.jsonl                 # Perfetto trace JSON
 
-and the conformance pair (see DESIGN.md section 8)::
+the conformance pair (see DESIGN.md section 8)::
 
     python -m repro check --n 24 --seeds 6   # monitored sweep; writes
                                              # BENCH_conformance.json,
                                              # exits 1 on safety violations
     python -m repro trends                   # cross-run drift tables
+    python -m repro trends --last 5          # wider window + sparklines
+
+and the telemetry pane (see DESIGN.md section 9)::
+
+    python -m repro dashboard flight.jsonl --out dashboard.html
+    python -m repro trends --gate --tolerance 25   # exit 1 on drift
 """
 
 from __future__ import annotations
@@ -144,6 +150,8 @@ COMMANDS: dict[str, tuple[str, Callable]] = {
 def _run_record(args) -> str:
     from repro.experiments import report
 
+    from repro.sim.telemetry import telemetry_path_for
+
     out = args.out or f"flight_{args.protocol}_n{args.n or 40}_s{args.seed}.jsonl"
     path, result = report.record_run(
         out,
@@ -151,12 +159,16 @@ def _run_record(args) -> str:
         n=args.n or 40,
         seed=args.seed,
         profile=not args.no_profile,
+        telemetry=not args.no_telemetry,
     )
-    return (
+    text = (
         f"recorded {result.deliveries} deliveries "
         f"(duration {result.duration}, {result.words} words, "
         f"decided={result.all_correct_decided}) -> {path}"
     )
+    if not args.no_telemetry:
+        text += f"\ntelemetry sidecar -> {telemetry_path_for(path)}"
+    return text
 
 
 def _run_report(args) -> str:
@@ -206,10 +218,29 @@ def _run_check(args) -> tuple[str, int]:
     return text, 0 if payload["ok"] else 1
 
 
-def _run_trends(args) -> str:
+def _run_trends(args) -> tuple[str, int]:
     from repro.experiments import trends
 
-    return trends.render_trends(trends.TrendStore("."))
+    store = trends.TrendStore(".")
+    tolerance = (args.tolerance if args.tolerance is not None else 25.0) / 100.0
+    last = args.last or 2
+    if args.gate:
+        verdict = trends.gate_trends(store, rel_tol=tolerance, last=last)
+        return trends.format_gate(verdict), 0 if verdict["ok"] else 1
+    return trends.render_trends(store, rel_tol=tolerance, last=last), 0
+
+
+def _run_dashboard(args) -> str:
+    from repro.experiments.dashboard import render_dashboard
+
+    out = args.out or "dashboard.html"
+    tolerance = (args.tolerance if args.tolerance is not None else 25.0) / 100.0
+    path, diagnostics = render_dashboard(
+        out, recording_path=args.path, root=".", rel_tol=tolerance
+    )
+    lines = [f"dashboard -> {path} (self-contained HTML, open in any browser)"]
+    lines += [f"  note: {message}" for message in diagnostics]
+    return "\n".join(lines)
 
 # Quick-mode overrides: (n, seeds) small enough for a coffee-break run.
 _QUICK = {
@@ -228,7 +259,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             *COMMANDS, "record", "report", "export", "check", "trends",
-            "all", "list",
+            "dashboard", "all", "list",
         ],
     )
     parser.add_argument(
@@ -253,6 +284,22 @@ def main(argv: list[str] | None = None) -> int:
         "--no-profile", action="store_true",
         help="record without wall-clock phase timers",
     )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="record without the telemetry probe / sidecar",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="trends: exit 1 on out-of-tolerance numeric drift",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="trends/dashboard: drift tolerance in percent (default 25)",
+    )
+    parser.add_argument(
+        "--last", type=int, default=None,
+        help="trends: window size for sparklines and drift (default 2)",
+    )
     parser.add_argument("--quick", action="store_true", help="smoke-scale parameters")
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -268,12 +315,14 @@ def main(argv: list[str] | None = None) -> int:
         print("  report  render a recorded run (round timeline, words, coin, ...)")
         print("  export  convert a recording to Chrome/Perfetto trace JSON")
         print("  check   monitored conformance sweep (paper-property checks)")
-        print("  trends  cross-run benchmark/conformance drift tables")
+        print("  trends  cross-run drift tables (--gate exits 1 on drift)")
+        print("  dashboard  single-pane HTML report (telemetry+trends+conformance)")
         return 0
 
-    if args.command in ("record", "report", "export"):
+    if args.command in ("record", "report", "export", "dashboard"):
         handler = {
             "record": _run_record, "report": _run_report, "export": _run_export,
+            "dashboard": _run_dashboard,
         }[args.command]
         print(handler(args))
         return 0
@@ -287,8 +336,9 @@ def main(argv: list[str] | None = None) -> int:
         return code
 
     if args.command == "trends":
-        print(_run_trends(args))
-        return 0
+        text, code = _run_trends(args)
+        print(text)
+        return code
 
     names = list(COMMANDS) if args.command == "all" else [args.command]
     for name in names:

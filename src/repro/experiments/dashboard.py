@@ -1,0 +1,503 @@
+"""`python -m repro dashboard`: one self-contained HTML pane for the repo.
+
+Stitches every observability artifact this repository produces into a
+single offline file -- no network fetches, no external scripts or
+stylesheets, every chart inline SVG -- so "what has this repo been
+doing" is answerable from one artifact attached to a CI run or mailed
+around:
+
+* **run summary + telemetry timelines** of a flight recording: the
+  virtual-time series a :class:`~repro.sim.telemetry.TelemetryProbe`
+  sampled (in-flight messages, mailbox backlog, blocked processes,
+  cumulative words by protocol layer), its latency quantiles and the
+  per-causal-depth profile.  The ``.telemetry.json`` sidecar is used
+  when present; otherwise the recording's event log is replayed through
+  a fresh probe.
+* **trend-store series** with SVG sparklines and out-of-tolerance drift
+  highlighted (same numeric-leaves rules as ``repro trends --gate``).
+* **conformance verdicts** from the newest ``conformance`` trend record
+  (per-protocol safety violations and whp flags).
+* **E4 scaling curves** from the newest ``E4_scaling`` trend record
+  (mean words vs n per protocol, log-log).
+
+Every missing input degrades to a one-line diagnostic *inside the
+dashboard* (and on stdout), never an exception: a dashboard of an empty
+repository is a valid dashboard that says what to run next.
+"""
+
+from __future__ import annotations
+
+import html
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.trends import (
+    TrendStore,
+    canonical_scalar,
+    numeric_drifts,
+)
+
+__all__ = ["build_dashboard", "render_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem;
+     border-bottom: 1px solid #d0d0e0; padding-bottom: .3rem; }
+table { border-collapse: collapse; font-size: .85rem; }
+td, th { padding: .25rem .7rem; border-bottom: 1px solid #e8e8f0;
+         text-align: right; } th { background: #f4f4fa; }
+td:first-child, th:first-child { text-align: left; }
+.diag { color: #8a6d3b; background: #fcf8e3; padding: .4rem .8rem;
+        border-radius: 4px; display: inline-block; margin: .2rem 0; }
+.drift { color: #a94442; font-weight: 600; }
+.ok { color: #3c763d; }
+.chart-title { font-size: .8rem; color: #555; margin: .6rem 0 .1rem; }
+.charts { display: flex; flex-wrap: wrap; gap: 1.2rem; }
+svg { background: #fbfbfe; border: 1px solid #e0e0ea; }
+.legend { font-size: .75rem; color: #444; }
+"""
+
+_PALETTE = ("#3b5bdb", "#e8590c", "#2b8a3e", "#9c36b5", "#c92a2a", "#0b7285")
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3g}" if abs(value) < 1000 else f"{value:,.0f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return _esc(value)
+
+
+# -- SVG primitives ----------------------------------------------------------
+
+
+def _polyline_points(
+    xs: list[float], ys: list[float], width: int, height: int, pad: int = 6
+) -> str:
+    if not xs:
+        return ""
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    points = []
+    for x, y in zip(xs, ys):
+        px = pad + (x - x_lo) / x_span * (width - 2 * pad)
+        py = height - pad - (y - y_lo) / y_span * (height - 2 * pad)
+        points.append(f"{px:.1f},{py:.1f}")
+    return " ".join(points)
+
+
+def _line_chart(
+    series: dict[str, tuple[list[float], list[float]]],
+    width: int = 340,
+    height: int = 120,
+    title: str = "",
+) -> str:
+    """Multi-series SVG line chart with min/max labels and a legend."""
+    drawn = {
+        name: (xs, ys) for name, (xs, ys) in series.items() if xs and ys
+    }
+    if not drawn:
+        return "<p class='diag'>(no data points)</p>"
+    all_ys = [y for _, ys in drawn.values() for y in ys]
+    all_xs = [x for xs, _ in drawn.values() for x in xs]
+    parts = [
+        f"<div class='chart-title'>{_esc(title)}</div>" if title else "",
+        f"<svg width='{width}' height='{height}' viewBox='0 0 {width} {height}'"
+        " role='img'>",
+    ]
+    for index, (name, (xs, ys)) in enumerate(drawn.items()):
+        color = _PALETTE[index % len(_PALETTE)]
+        parts.append(
+            f"<polyline fill='none' stroke='{color}' stroke-width='1.5' "
+            f"points='{_polyline_points(xs, ys, width, height)}'/>"
+        )
+    parts.append(
+        f"<text x='4' y='12' font-size='9' fill='#888'>{_fmt(max(all_ys))}</text>"
+        f"<text x='4' y='{height - 2}' font-size='9' fill='#888'>"
+        f"{_fmt(min(all_ys))}</text>"
+        f"<text x='{width - 4}' y='{height - 2}' font-size='9' fill='#888' "
+        f"text-anchor='end'>x={_fmt(max(all_xs))}</text>"
+    )
+    parts.append("</svg>")
+    legend = " &middot; ".join(
+        f"<span style='color:{_PALETTE[i % len(_PALETTE)]}'>&#9632;</span> "
+        f"{_esc(name)}"
+        for i, name in enumerate(drawn)
+    )
+    parts.append(f"<div class='legend'>{legend}</div>")
+    return "".join(part for part in parts if part)
+
+
+def _spark_svg(values: list[float], width: int = 120, height: int = 24) -> str:
+    finite = [v for v in values if isinstance(v, (int, float)) and v == v]
+    if len(finite) < 2:
+        return ""
+    points = _polyline_points(
+        list(range(len(finite))), finite, width, height, pad=2
+    )
+    return (
+        f"<svg width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<polyline fill='none' stroke='#3b5bdb' stroke-width='1.2' "
+        f"points='{points}'/></svg>"
+    )
+
+
+def _diag(message: str) -> str:
+    return f"<p class='diag'>{_esc(message)}</p>"
+
+
+# -- sections ----------------------------------------------------------------
+
+
+def _series_xy(series: dict[str, Any]) -> tuple[list[float], list[float]]:
+    return (
+        [float(s) for s in series.get("steps", [])],
+        [float(v) for v in series.get("values", [])],
+    )
+
+
+def _run_section(recording, recording_path, diagnostics: list[str]) -> str:
+    if recording is None:
+        message = (
+            f"no recording: {recording_path}"
+            if recording_path
+            else "no recording supplied; run `python -m repro record "
+            "--n 40 --out flight.jsonl` and pass the file"
+        )
+        diagnostics.append(message)
+        return f"<section id='run'><h2>Run</h2>{_diag(message)}</section>"
+    header = recording.header
+    summary = recording.summary
+    cells = {
+        "n": header.get("n"),
+        "f": header.get("f"),
+        "seed": header.get("seed"),
+        "deliveries": summary.get("deliveries"),
+        "causal depth": summary.get("duration"),
+        "words": summary.get("words"),
+        "live": summary.get("live"),
+        "all decided": summary.get("all_correct_decided"),
+    }
+    row = "".join(f"<td>{_fmt(value)}</td>" for value in cells.values())
+    head = "".join(f"<th>{_esc(key)}</th>" for key in cells)
+    return (
+        "<section id='run'><h2>Run</h2>"
+        f"<p>{_esc(recording_path)}</p>"
+        f"<table><tr>{head}</tr><tr>{row}</tr></table></section>"
+    )
+
+
+def _telemetry_section(telemetry, diagnostics: list[str]) -> str:
+    if telemetry is None:
+        message = "no telemetry (record a run first; the probe rides along)"
+        diagnostics.append(message)
+        return (
+            "<section id='telemetry'><h2>Telemetry</h2>"
+            f"{_diag(message)}</section>"
+        )
+    series = telemetry.get("series", {})
+    charts = []
+    gauges = {
+        "in-flight messages": "in_flight",
+        "blocked processes": "blocked",
+        "peak mailbox backlog": "backlog_max",
+        "mean mailbox backlog": "backlog_mean",
+    }
+    for title, key in gauges.items():
+        if key in series:
+            xs, ys = _series_xy(series[key])
+            charts.append(
+                f"<div>{_line_chart({key: (xs, ys)}, title=title + ' / step')}"
+                "</div>"
+            )
+    layers = series.get("words_by_layer", {})
+    if layers:
+        charts.append(
+            "<div>"
+            + _line_chart(
+                {layer: _series_xy(entry) for layer, entry in layers.items()},
+                title="cumulative words by layer / step",
+            )
+            + "</div>"
+        )
+    quantiles = telemetry.get("quantiles", {})
+    q_rows = []
+    for name, stats in quantiles.items():
+        if not stats.get("count"):
+            continue
+        q_rows.append(
+            f"<tr><td>{_esc(name)}</td>"
+            + "".join(
+                f"<td>{_fmt(stats.get(key))}</td>"
+                for key in ("count", "min", "p50", "p90", "p99", "max")
+            )
+            + "</tr>"
+        )
+    q_table = (
+        "<table><tr><th>latency</th><th>count</th><th>min</th><th>p50</th>"
+        "<th>p90</th><th>p99</th><th>max</th></tr>" + "".join(q_rows)
+        + "</table>"
+        if q_rows
+        else _diag("no latency samples")
+    )
+    profile = telemetry.get("depth_profile", [])
+    depth_chart = ""
+    if profile:
+        depths = [float(row["depth"]) for row in profile]
+        depth_chart = _line_chart(
+            {
+                "messages": (depths, [float(r["messages"]) for r in profile]),
+                "decisions": (
+                    depths,
+                    [float(r["decisions"]) for r in profile],
+                ),
+            },
+            title="messages and decisions / causal depth",
+        )
+    return (
+        "<section id='telemetry'><h2>Telemetry</h2>"
+        f"<div class='charts'>{''.join(charts)}"
+        f"<div>{depth_chart}</div></div>"
+        f"<h3>latency quantiles (virtual time)</h3>{q_table}"
+        "</section>"
+    )
+
+
+def _trends_section(store: TrendStore, rel_tol: float,
+                    diagnostics: list[str]) -> str:
+    try:
+        names = store.names()
+    except ValueError as exc:
+        message = f"trend store unreadable: {exc}"
+        diagnostics.append(message)
+        return f"<section id='trends'><h2>Trends</h2>{_diag(message)}</section>"
+    if not names:
+        message = (
+            f"trend store empty at {store.path} "
+            "(benchmarks and `repro check` append here as they run)"
+        )
+        diagnostics.append(message)
+        return f"<section id='trends'><h2>Trends</h2>{_diag(message)}</section>"
+    rows = []
+    for name in names:
+        history = store.history(name)
+        window = history[-8:]
+        scalar = canonical_scalar(window) if len(window) > 1 else None
+        spark = _spark_svg(scalar[1]) if scalar else ""
+        tracking = _esc(scalar[0]) if scalar else ""
+        if len(history) < 2:
+            drift_cell = "<span class='ok'>first record</span>"
+        else:
+            drifts = numeric_drifts(
+                history[-2]["payload"], history[-1]["payload"], rel_tol=rel_tol
+            )
+            drift_cell = (
+                f"<span class='drift'>{len(drifts)} field(s): "
+                + "; ".join(_esc(d) for d in drifts[:3])
+                + "</span>"
+                if drifts
+                else f"<span class='ok'>within {rel_tol:.0%}</span>"
+            )
+        rows.append(
+            f"<tr><td>{_esc(name)}</td><td>{len(history)}</td>"
+            f"<td>{spark}</td><td>{tracking}</td><td>{drift_cell}</td></tr>"
+        )
+    return (
+        "<section id='trends'><h2>Trends</h2>"
+        f"<p>{_esc(store.path)}</p>"
+        "<table><tr><th>series</th><th>records</th><th>trend</th>"
+        "<th>tracking</th><th>drift vs previous</th></tr>"
+        + "".join(rows)
+        + "</table></section>"
+    )
+
+
+def _conformance_section(store: TrendStore, diagnostics: list[str]) -> str:
+    try:
+        latest = store.latest("conformance")
+    except ValueError:
+        latest = None
+    if latest is None:
+        message = "no conformance record (run `python -m repro check`)"
+        diagnostics.append(message)
+        return (
+            "<section id='conformance'><h2>Conformance</h2>"
+            f"{_diag(message)}</section>"
+        )
+    payload = latest["payload"]
+    verdict = (
+        "<span class='ok'>OK</span>"
+        if payload.get("ok")
+        else "<span class='drift'>SAFETY VIOLATIONS</span>"
+    )
+    rows = []
+    for name, entry in payload.get("protocols", {}).items():
+        conformance = entry.get("conformance", {})
+        runs = entry.get("runs", [])
+        decided = sum(1 for run in runs if run.get("all_correct_decided"))
+        rows.append(
+            f"<tr><td>{_esc(name)}</td><td>{entry.get('f')}</td>"
+            f"<td>{decided}/{len(runs)}</td>"
+            f"<td>{conformance.get('safety_violations')}</td>"
+            f"<td>{conformance.get('whp_flags')}</td></tr>"
+        )
+    return (
+        "<section id='conformance'><h2>Conformance</h2>"
+        f"<p>n={payload.get('n')}, seeds={_esc(payload.get('seeds'))} "
+        f"&mdash; {verdict}</p>"
+        "<table><tr><th>protocol</th><th>f</th><th>decided</th>"
+        "<th>safety violations</th><th>whp flags</th></tr>"
+        + "".join(rows)
+        + "</table></section>"
+    )
+
+
+def _scaling_section(store: TrendStore, diagnostics: list[str]) -> str:
+    try:
+        latest = store.latest("E4_scaling")
+    except ValueError:
+        latest = None
+    if latest is None:
+        message = (
+            "no scaling record (run `pytest benchmarks/bench_e4_scaling.py "
+            "--benchmark-only`)"
+        )
+        diagnostics.append(message)
+        return (
+            "<section id='scaling'><h2>Scaling (E4)</h2>"
+            f"{_diag(message)}</section>"
+        )
+    curves = latest["payload"]
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    slopes = []
+    for curve in curves if isinstance(curves, list) else []:
+        points = [
+            (math.log10(n), math.log10(w))
+            for n, w in zip(curve.get("n_values", []), curve.get("mean_words", []))
+            if isinstance(w, (int, float)) and w == w and w > 0
+        ]
+        if points:
+            series[curve.get("protocol", "?")] = (
+                [x for x, _ in points],
+                [y for _, y in points],
+            )
+        slope = curve.get("slope_words_per_round")
+        if isinstance(slope, (int, float)):
+            slopes.append(f"{curve.get('protocol')}: {slope:.2f}")
+    chart = _line_chart(
+        series, width=420, height=180,
+        title="mean words vs n (log10/log10)",
+    )
+    slope_line = (
+        f"<p>fitted per-round log-log slopes: {_esc(', '.join(slopes))}</p>"
+        if slopes
+        else ""
+    )
+    return (
+        "<section id='scaling'><h2>Scaling (E4)</h2>"
+        f"{chart}{slope_line}</section>"
+    )
+
+
+# -- assembly ----------------------------------------------------------------
+
+
+def build_dashboard(
+    recording=None,
+    recording_path: str | Path | None = None,
+    telemetry: dict[str, Any] | None = None,
+    store: TrendStore | None = None,
+    rel_tol: float = 0.25,
+    title: str = "repro dashboard",
+    notes: list[str] | None = None,
+) -> tuple[str, list[str]]:
+    """Assemble the dashboard HTML; returns ``(html, diagnostics)``.
+
+    Every argument is optional; missing inputs become one-line
+    diagnostics rendered in place of their section.  ``notes`` are
+    caller-supplied diagnostics (e.g. a recording that failed to load)
+    rendered under the header so they appear inside the pane too.
+    """
+    diagnostics: list[str] = []
+    store = store if store is not None else TrendStore(".")
+    banner = "".join(_diag(note) for note in notes or ())
+    sections = [
+        _run_section(recording, recording_path, diagnostics),
+        _telemetry_section(telemetry, diagnostics),
+        _trends_section(store, rel_tol, diagnostics),
+        _conformance_section(store, diagnostics),
+        _scaling_section(store, diagnostics),
+    ]
+    document = (
+        "<!doctype html>\n"
+        "<html lang='en'><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title>"
+        f"<style>{_CSS}</style></head><body>"
+        f"<h1>{_esc(title)}</h1>"
+        "<p class='legend'>self-contained report: virtual-time telemetry, "
+        "cross-run trends, paper-property conformance, scaling &mdash; "
+        "generated by <code>python -m repro dashboard</code></p>"
+        + banner
+        + "".join(sections)
+        + "</body></html>\n"
+    )
+    return document, diagnostics
+
+
+def render_dashboard(
+    out: str | Path,
+    recording_path: str | Path | None = None,
+    root: str | Path = ".",
+    rel_tol: float = 0.25,
+) -> tuple[Path, list[str]]:
+    """Load whatever inputs exist and write the dashboard to ``out``.
+
+    Returns ``(path, diagnostics)``.  Damaged inputs (truncated
+    recording, foreign-schema sidecar) degrade to diagnostics exactly
+    like missing ones -- the dashboard never refuses to render.
+    """
+    from repro.sim.flightrecorder import load_recording
+    from repro.sim.telemetry import (
+        load_telemetry,
+        telemetry_from_events,
+        telemetry_path_for,
+    )
+
+    diagnostics: list[str] = []
+    recording = None
+    telemetry = None
+    if recording_path is not None:
+        try:
+            recording = load_recording(recording_path)
+        except (OSError, ValueError) as exc:
+            diagnostics.append(f"recording unusable: {exc}")
+        if recording is not None:
+            sidecar = telemetry_path_for(recording_path)
+            if sidecar.exists():
+                try:
+                    telemetry = load_telemetry(sidecar)
+                except ValueError as exc:
+                    diagnostics.append(f"telemetry sidecar unusable: {exc}")
+            if telemetry is None:
+                telemetry = telemetry_from_events(recording.events)
+    document, build_diags = build_dashboard(
+        recording=recording,
+        recording_path=recording_path,
+        telemetry=telemetry,
+        store=TrendStore(root),
+        rel_tol=rel_tol,
+        notes=diagnostics,
+    )
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(document)
+    return out, diagnostics + build_diags

@@ -31,6 +31,12 @@ from repro.sim.flightrecorder import (
     save_recording,
 )
 from repro.sim.runner import RunResult, run_protocol, stop_when_all_decided
+from repro.sim.telemetry import (
+    LAYER_OF_KIND as _LAYER_OF_KIND,
+    TelemetryProbe,
+    save_telemetry,
+    telemetry_path_for,
+)
 
 __all__ = [
     "format_report",
@@ -38,17 +44,6 @@ __all__ = [
     "render_report_file",
     "word_breakdown",
 ]
-
-# Message kind -> protocol layer, for the word-complexity breakdown.  The
-# approver's three committees carry Init/Echo/Ok; both coins speak
-# First/Second; baseline protocols (Bracha, Ben-Or, ...) land in "other".
-_LAYER_OF_KIND = {
-    "InitMsg": "approver",
-    "EchoMsg": "approver",
-    "OkMsg": "approver",
-    "FirstMsg": "coin",
-    "SecondMsg": "coin",
-}
 
 
 def record_run(
@@ -58,14 +53,19 @@ def record_run(
     f: int | None = None,
     seed: int = 0,
     profile: bool = True,
+    telemetry: bool = True,
 ) -> tuple[Path, RunResult]:
     """Run one ``name`` protocol instance, recording its flight data.
 
     Returns ``(recording_path, result)``.  The run stops when every
-    correct process has decided (the BA harness convention).
+    correct process has decided (the BA harness convention).  Unless
+    ``telemetry=False``, a :class:`~repro.sim.telemetry.TelemetryProbe`
+    rides along and its snapshot lands in the ``.telemetry.json``
+    sidecar next to the recording (the dashboard's preferred source).
     """
     factory, params, f = make_runner(name, n, f=f, seed=seed)
     recorder = FlightRecorder()
+    probe = TelemetryProbe() if telemetry else None
     result = run_protocol(
         n,
         f,
@@ -76,8 +76,20 @@ def record_run(
         stop_condition=stop_when_all_decided,
         profile=profile,
         subscribers=[recorder.on_event],
+        telemetry=probe,
     )
     path = save_recording(out, recorder, result)
+    if probe is not None:
+        save_telemetry(
+            telemetry_path_for(path),
+            probe,
+            header={
+                "protocol": name,
+                "n": result.n,
+                "f": result.f,
+                "seed": result.seed,
+            },
+        )
     return path, result
 
 

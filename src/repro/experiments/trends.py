@@ -14,6 +14,15 @@ future-versioned records fail loudly on load (same policy as flight
 recordings).  :meth:`TrendStore.regressions` diffs the two newest
 payloads of a series with :func:`repro.experiments.store.compare_results`,
 which is what ``python -m repro trends`` renders as the drift column.
+
+The store also *enforces*: :func:`gate_trends` walks the numeric leaves
+of each series' newest-vs-baseline payloads and fails on any drift
+beyond a relative tolerance -- ``python -m repro trends --gate
+--tolerance <pct>`` exits non-zero, which is what the CI conformance
+job runs.  Volatile fields (wall-clock timings, timestamps, rendered
+report text) are excluded by path substring so the gate only judges the
+deterministic quantities the paper's claims are about: words, rounds,
+coin-success rates, deliveries (see :data:`GATE_EXCLUDED_SUBSTRINGS`).
 """
 
 from __future__ import annotations
@@ -26,12 +35,17 @@ from typing import Any
 from repro.experiments.store import compare_results, load_jsonl, to_jsonable
 
 __all__ = [
+    "GATE_EXCLUDED_SUBSTRINGS",
     "TREND_SCHEMA",
     "TREND_SCHEMA_VERSION",
     "TrendStore",
     "bench_json_path",
+    "format_gate",
+    "gate_trends",
+    "numeric_drifts",
     "record_bench",
     "render_trends",
+    "sparkline",
 ]
 
 TREND_SCHEMA = "repro.trends"
@@ -108,6 +122,11 @@ class TrendStore:
             history[-2]["payload"], history[-1]["payload"], rel_tol=rel_tol
         )
 
+    def window(self, name: str, last: int = 2) -> list[dict]:
+        """The newest ``last`` records of a series, oldest first."""
+        history = self.history(name)
+        return history[-max(1, last):]
+
 
 def record_bench(
     name: str, payload: Any, root: str | Path = "."
@@ -126,34 +145,232 @@ def record_bench(
     return path, record
 
 
-def render_trends(store: TrendStore, rel_tol: float = 0.1) -> str:
+# -- numeric drift extraction (the gate's view of a payload) -----------------
+
+# Path substrings excluded from gating and sparklines: legitimately
+# volatile between otherwise identical runs (wall clock, timestamps,
+# rendered text, machine-speed-derived bounds).
+GATE_EXCLUDED_SUBSTRINGS = (
+    "phase_timings",
+    "wallclock",
+    "elapsed",
+    "seconds",
+    ".ts",
+    ".report",
+    "interval",
+)
+
+
+def _gate_excluded(path: str) -> bool:
+    lowered = path.lower()
+    return any(token in lowered for token in GATE_EXCLUDED_SUBSTRINGS)
+
+
+def numeric_leaves(payload: Any, path: str = "$") -> dict[str, float]:
+    """Flatten a payload's gate-relevant numeric leaves to ``path -> value``.
+
+    Bools are skipped (they are verdicts, not magnitudes), as is every
+    path matching :data:`GATE_EXCLUDED_SUBSTRINGS`.
+    """
+    leaves: dict[str, float] = {}
+    if _gate_excluded(path):
+        return leaves
+    if isinstance(payload, dict):
+        for key in sorted(payload):
+            leaves.update(numeric_leaves(payload[key], f"{path}.{key}"))
+    elif isinstance(payload, (list, tuple)):
+        for index, item in enumerate(payload):
+            leaves.update(numeric_leaves(item, f"{path}[{index}]"))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        leaves[path] = float(payload)
+    return leaves
+
+
+def numeric_drifts(
+    baseline: Any, current: Any, rel_tol: float = 0.1
+) -> list[str]:
+    """Out-of-tolerance numeric drift between two payloads, gate rules.
+
+    Unlike :func:`repro.experiments.store.compare_results` this only
+    judges numeric leaves present in *both* payloads and skips the
+    excluded (volatile) paths -- structure growth (a new field, a longer
+    table) is evolution, not regression.
+    """
+    before = numeric_leaves(baseline)
+    after = numeric_leaves(current)
+    drifts = []
+    for path in sorted(set(before) & set(after)):
+        old, new = before[path], after[path]
+        tolerance = max(abs(old) * rel_tol, 1e-9)
+        if abs(old - new) > tolerance:
+            drifts.append(f"{path}: {old:g} -> {new:g} (beyond {rel_tol:.0%})")
+    return drifts
+
+
+_SPARK_LEVELS = "_.:-=+*#%@"  # low -> high; NaN renders as a blank
+
+
+def sparkline(values: list[float]) -> str:
+    """Render a numeric series as a fixed-charset ASCII sparkline.
+
+    Flat series render as all-middle characters; a single value is one
+    character.  Used by the trends table and the gate report to show
+    drift *direction*, not just magnitude.
+    """
+    finite = [v for v in values if v == v]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    if hi == lo:
+        return _SPARK_LEVELS[len(_SPARK_LEVELS) // 2] * len(values)
+    chars = []
+    for value in values:
+        if value != value:
+            chars.append(" ")
+            continue
+        level = round((value - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+# Preference order for the one scalar a series is sparklined by: the
+# quantities the paper's trajectory claims are about, then anything.
+_CANONICAL_PREFERENCES = (
+    "words", "round", "coin", "rate", "duration", "deliver", "bound",
+)
+
+
+def canonical_scalar(window: list[dict]) -> tuple[str, list[float]] | None:
+    """Pick one numeric leaf path present across a window of records and
+    return ``(path, values oldest-first)``; None when nothing qualifies."""
+    flattened = [numeric_leaves(record["payload"]) for record in window]
+    common = set(flattened[0])
+    for leaves in flattened[1:]:
+        common &= set(leaves)
+    if not common:
+        return None
+
+    def rank(path: str) -> tuple[int, str]:
+        lowered = path.lower()
+        for position, token in enumerate(_CANONICAL_PREFERENCES):
+            if token in lowered:
+                return (position, path)
+        return (len(_CANONICAL_PREFERENCES), path)
+
+    chosen = min(common, key=rank)
+    return chosen, [leaves[chosen] for leaves in flattened]
+
+
+def render_trends(store: TrendStore, rel_tol: float = 0.1, last: int = 2) -> str:
     """The ``python -m repro trends`` table: one row per series with its
-    record count, newest timestamp, and drift vs the previous record."""
+    record count, newest timestamp, a sparkline over the newest ``last``
+    records, and drift of the newest record vs the window's oldest."""
     names = store.names()
     if not names:
         return (
             f"no trend records at {store.path}\n"
             "(benchmarks and `repro check` append here as they run)"
         )
+    last = max(2, last)
+    spark_width = max(5, last)
     lines = [
         f"trend store: {store.path}",
         "",
-        f"{'series':<28} {'records':>7}  {'latest':<19}  drift vs previous",
+        f"{'series':<28} {'records':>7}  {'latest':<19}  "
+        f"{'trend':<{spark_width}}  drift vs {last - 1} back",
     ]
     for name in names:
         history = store.history(name)
         newest = history[-1]
+        window = history[-last:]
         stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(newest["ts"]))
-        drifts = store.regressions(name, rel_tol=rel_tol)
+        scalar = canonical_scalar(window) if len(window) > 1 else None
+        spark = sparkline(scalar[1]) if scalar else ""
         if len(history) < 2:
-            drift = "(first record)"
-        elif not drifts:
-            drift = f"none (within {rel_tol:.0%})"
+            drift, drifts = "(first record)", []
         else:
-            drift = f"{len(drifts)} field(s)"
-        lines.append(f"{name:<28} {len(history):>7}  {stamp:<19}  {drift}")
+            drifts = numeric_drifts(
+                window[0]["payload"], newest["payload"], rel_tol=rel_tol
+            )
+            drift = (
+                f"none (within {rel_tol:.0%})" if not drifts
+                else f"{len(drifts)} field(s)"
+            )
+        lines.append(
+            f"{name:<28} {len(history):>7}  {stamp:<19}  "
+            f"{spark:<{spark_width}}  {drift}"
+        )
+        if scalar:
+            lines.append(f"{'':<28}   tracking {scalar[0]}")
         for description in drifts[:8]:
             lines.append(f"{'':<28}   {description}")
         if len(drifts) > 8:
             lines.append(f"{'':<28}   ... and {len(drifts) - 8} more")
+    return "\n".join(lines)
+
+
+# -- the gate ----------------------------------------------------------------
+
+
+def gate_trends(
+    store: TrendStore, rel_tol: float = 0.25, last: int = 2
+) -> dict[str, Any]:
+    """Machine-readable regression verdict over every series in the store.
+
+    For each series with at least two records, diffs the newest payload
+    against the oldest record in the newest-``last`` window with
+    :func:`numeric_drifts`.  Returns ``{ok, tolerance, window, series}``
+    where ``series`` maps each name to its record count, drift list and
+    per-series verdict.  An empty or missing store passes vacuously
+    (``checked == 0``): the gate enforces trajectories once they exist,
+    it does not demand one on day zero.
+    """
+    verdict: dict[str, Any] = {
+        "ok": True,
+        "tolerance": rel_tol,
+        "window": last,
+        "checked": 0,
+        "series": {},
+    }
+    for name in store.names():
+        window = store.window(name, last=last)
+        entry: dict[str, Any] = {"records": len(store.history(name))}
+        if len(window) < 2:
+            entry["drifts"] = []
+            entry["ok"] = True
+            entry["note"] = "first record; nothing to diff"
+        else:
+            drifts = numeric_drifts(
+                window[0]["payload"], window[-1]["payload"], rel_tol=rel_tol
+            )
+            entry["drifts"] = drifts
+            entry["ok"] = not drifts
+            verdict["checked"] += 1
+            if drifts:
+                verdict["ok"] = False
+        scalar = canonical_scalar(window) if len(window) > 1 else None
+        if scalar:
+            entry["tracking"] = scalar[0]
+            entry["trend"] = scalar[1]
+        verdict["series"][name] = entry
+    return verdict
+
+
+def format_gate(verdict: dict[str, Any]) -> str:
+    """Human-readable gate report (`repro trends --gate` output)."""
+    lines = [
+        f"trend gate: tolerance {verdict['tolerance']:.0%}, "
+        f"window {verdict['window']}, {verdict['checked']} series checked"
+    ]
+    for name, entry in verdict["series"].items():
+        status = "ok" if entry["ok"] else "DRIFT"
+        spark = sparkline(entry["trend"]) if "trend" in entry else ""
+        suffix = f"  [{spark}] {entry.get('tracking', '')}" if spark else ""
+        note = f"  ({entry['note']})" if "note" in entry else ""
+        lines.append(f"  {status:>5}  {name}{note}{suffix}")
+        for description in entry["drifts"]:
+            lines.append(f"         {description}")
+    lines.append(
+        "GATE: " + ("PASS" if verdict["ok"] else "FAIL (out-of-tolerance drift)")
+    )
     return "\n".join(lines)

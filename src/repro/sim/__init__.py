@@ -70,6 +70,12 @@ from repro.sim.monitors import (
 )
 from repro.sim.network import Simulation
 from repro.sim.process import ProcessContext, Wait
+from repro.sim.telemetry import (
+    TelemetryProbe,
+    load_telemetry,
+    save_telemetry,
+    telemetry_from_events,
+)
 from repro.sim.trace import TraceEvent, TraceRecorder, attach_trace
 from repro.sim.traceexport import (
     chrome_trace_events,
@@ -123,6 +129,7 @@ __all__ = [
     "Simulation",
     "StaticCorruption",
     "TargetedDelayScheduler",
+    "TelemetryProbe",
     "TraceEvent",
     "TraceRecorder",
     "ViolationReport",
@@ -138,9 +145,12 @@ __all__ = [
     "export_chrome_trace",
     "histogram",
     "load_recording",
+    "load_telemetry",
     "run_protocol",
     "save_chrome_trace",
     "save_recording",
+    "save_telemetry",
+    "telemetry_from_events",
     "stop_when_all_decided",
     "stop_when_all_returned",
 ]

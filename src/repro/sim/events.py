@@ -51,7 +51,12 @@ __all__ = [
 ]
 
 EVENT_SCHEMA = "repro.flight"
-EVENT_SCHEMA_VERSION = 1
+# v2: WaitBlockEvent/WaitWakeEvent carry the parked process's causal
+# depth, so wait latency is measurable in causal time, not just steps;
+# DeliverEvent carries ``sent_step`` so link latency (how long the
+# adversary held a message) is a per-event subtraction instead of a
+# send/deliver join.
+EVENT_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -101,8 +106,12 @@ class SendEvent:
 class DeliverEvent:
     """A message left the network and reached its destination.
 
-    ``payload`` is the live message object -- valid to inspect *during*
-    the subscriber callback, never to store (store ``summary``).
+    ``sent_step`` is the delivery counter when the message entered the
+    network (the matching :class:`SendEvent`'s ``step``), so
+    ``step - sent_step`` is the link latency without a send/deliver
+    join.  ``payload`` is the live message object -- valid to inspect
+    *during* the subscriber callback, never to store (store
+    ``summary``).
     """
 
     kind = "deliver"
@@ -115,6 +124,7 @@ class DeliverEvent:
     message_kind: str
     words: int
     depth: int
+    sent_step: int
     summary: PayloadSummary
     payload: Any = None
 
@@ -143,7 +153,14 @@ class DecideEvent:
 
 @dataclass(frozen=True)
 class WaitBlockEvent:
-    """A protocol coroutine parked on an unsatisfied wait-condition."""
+    """A protocol coroutine parked on an unsatisfied wait-condition.
+
+    ``depth`` is the process's causal depth at the moment it parked;
+    paired with the matching :class:`WaitWakeEvent`'s depth it gives the
+    wait's latency in causal time (how many message hops elapsed while
+    the process was blocked), the unit the paper's running-time claims
+    are stated in.
+    """
 
     kind = "wait_block"
 
@@ -151,17 +168,23 @@ class WaitBlockEvent:
     pid: int
     description: str
     subscribed: bool
+    depth: int
 
 
 @dataclass(frozen=True)
 class WaitWakeEvent:
-    """A parked wait-condition fired and its coroutine resumed."""
+    """A parked wait-condition fired and its coroutine resumed.
+
+    ``depth`` is the process's causal depth at wake time (already
+    advanced by the delivery that satisfied the condition).
+    """
 
     kind = "wait_wake"
 
     step: int
     pid: int
     description: str
+    depth: int
 
 
 @dataclass(frozen=True)

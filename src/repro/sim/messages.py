@@ -35,7 +35,12 @@ class Message:
 
 @dataclass(frozen=True)
 class Envelope:
-    """One in-flight message: payload plus routing and causality metadata."""
+    """One in-flight message: payload plus routing and causality metadata.
+
+    ``sent_step`` is the kernel's delivery counter when the message was
+    submitted; the delivery event surfaces it so subscribers can read
+    link latency off a single event.
+    """
 
     seq: int
     sender: int
@@ -43,6 +48,7 @@ class Envelope:
     payload: Message
     depth: int
     sender_correct: bool
+    sent_step: int
 
     @property
     def instance(self) -> Hashable:

@@ -201,6 +201,7 @@ class Simulation:
             payload=message,
             depth=ctx.depth + 1,
             sender_correct=sender not in self.corrupted,
+            sent_step=self.deliveries,
         )
         self._next_seq += 1
         self.metrics.record_send(envelope)
@@ -289,6 +290,7 @@ class Simulation:
                             pid=pid,
                             description=wait.description,
                             subscribed=wait.instances is not None,
+                            depth=ctx.depth,
                         )
                     )
                 return
@@ -308,6 +310,7 @@ class Simulation:
                     message_kind=type(payload).__name__,
                     words=payload.words(),
                     depth=envelope.depth,
+                    sent_step=envelope.sent_step,
                     summary=summarize_payload(payload),
                     payload=payload,
                 )
@@ -347,6 +350,7 @@ class Simulation:
                                     step=self.deliveries,
                                     pid=pid,
                                     description=wait.description,
+                                    depth=ctx.depth,
                                 )
                             )
                         self._advance(pid, result, first=False)

@@ -173,6 +173,7 @@ def run_protocol(
     profile: bool = False,
     subscribers: list[Callable[[Any], None]] | None = None,
     monitors: Any = None,
+    telemetry: Any = None,
 ) -> RunResult:
     """Run one protocol instance end to end and snapshot the result.
 
@@ -199,6 +200,13 @@ def run_protocol(
     result, so the paper's properties are checked online without
     perturbing the run (see DESIGN.md section 8).  The same suite may be
     passed to successive runs to accumulate cross-run statistics.
+
+    ``telemetry`` attaches a :class:`~repro.sim.telemetry.TelemetryProbe`
+    (just another event-bus subscriber, so the same no-subscriber guard
+    applies): the probe folds the run's event stream into bounded
+    virtual-time series -- in-flight messages, mailbox backlog, blocked
+    processes, cumulative words by layer, latency quantiles -- call
+    ``probe.snapshot()`` afterwards (see DESIGN.md section 9).
     """
     suite = None
     if monitors is not None:
@@ -229,6 +237,8 @@ def run_protocol(
     )
     for subscriber in subscribers or ():
         simulation.events.subscribe(subscriber)
+    if telemetry is not None:
+        simulation.events.subscribe(telemetry.on_event)
     if suite is not None:
         suite.begin_run()
         simulation.events.subscribe(suite.on_event)

@@ -1,0 +1,251 @@
+"""`repro dashboard` and `repro trends --gate`: the single-pane HTML
+report and the CI regression gate over the trend store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.dashboard import build_dashboard, render_dashboard
+from repro.experiments.trends import (
+    TrendStore,
+    format_gate,
+    gate_trends,
+    numeric_drifts,
+    numeric_leaves,
+    sparkline,
+)
+
+SECTION_IDS = ("run", "telemetry", "trends", "conformance", "scaling")
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    """One small recorded run (with telemetry sidecar) shared across tests."""
+    root = tmp_path_factory.mktemp("dashboard")
+    recording = root / "flight.jsonl"
+    assert main(["record", "--n", "16", "--seed", "2", "--out", str(recording)]) == 0
+    return root, recording
+
+
+class TestDashboardStructure:
+    """Structure-level golden test: the pane is complete and offline."""
+
+    def test_full_dashboard_from_recording(self, recorded):
+        root, recording = recorded
+        store = TrendStore(root)
+        store.append("bench", {"words": 100}, ts=1.0)
+        store.append("bench", {"words": 101}, ts=2.0)
+        out, diagnostics = render_dashboard(
+            root / "dashboard.html", recording_path=recording, root=root
+        )
+        document = out.read_text()
+        assert document.startswith("<!doctype html>")
+        assert document.rstrip().endswith("</html>")
+        for section in SECTION_IDS:
+            assert f"<section id='{section}'>" in document
+        # Telemetry charts are inline SVG, rendered from the sidecar.
+        assert "<svg" in document and "polyline" in document
+        assert "cumulative words by layer" in document
+        assert "link_latency_steps" in document
+        # The trends table names the series and its drift verdict.
+        assert ">bench<" in document and "within" in document
+        # Missing conformance/scaling records degrade to diagnostics,
+        # which are also reported to the caller.
+        assert "no conformance record" in document
+        assert any("conformance" in d for d in diagnostics)
+
+    def test_dashboard_is_self_contained(self, recorded):
+        root, recording = recorded
+        out, _ = render_dashboard(
+            root / "pane.html", recording_path=recording, root=root
+        )
+        document = out.read_text()
+        # No network fetches, no scripts, no external assets: the file
+        # must render identically from a mail attachment.
+        assert "<script" not in document
+        assert "http://" not in document and "https://" not in document
+        for attribute in ("src=", "href=", "@import"):
+            assert attribute not in document
+
+    def test_empty_repository_dashboard_still_renders(self, tmp_path):
+        out, diagnostics = render_dashboard(tmp_path / "d.html", root=tmp_path)
+        document = out.read_text()
+        for section in SECTION_IDS:
+            assert f"<section id='{section}'>" in document
+        assert "no recording supplied" in document
+        assert "trend store empty" in document
+        # Each one-line diagnostic names the command that would fill it.
+        assert "python -m repro record" in document
+        assert "repro check" in document
+        assert len(diagnostics) >= 4
+
+    def test_damaged_recording_degrades_to_diagnostic(self, tmp_path):
+        recording = tmp_path / "flight.jsonl"
+        recording.write_text('{"schema": "repro.fl')  # truncated mid-header
+        out, diagnostics = render_dashboard(
+            tmp_path / "d.html", recording_path=recording, root=tmp_path
+        )
+        assert any("recording unusable" in d for d in diagnostics)
+        assert "recording unusable" in out.read_text()
+
+    def test_build_dashboard_marks_drift(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100}, ts=1.0)
+        store.append("bench", {"words": 900}, ts=2.0)
+        document, _ = build_dashboard(store=store, rel_tol=0.25)
+        assert "class='drift'" in document
+        assert "words" in document
+
+
+class TestDashboardCLI:
+    def test_cli_writes_file_and_reports_diagnostics(
+        self, recorded, tmp_path, monkeypatch, capsys
+    ):
+        _, recording = recorded
+        monkeypatch.chdir(tmp_path)
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", str(recording), "--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "dashboard ->" in printed
+        assert "note:" in printed  # empty cwd store -> diagnostics on stdout
+        assert out.exists()
+
+    def test_dashboard_listed(self, capsys):
+        assert main(["list"]) == 0
+        assert "dashboard" in capsys.readouterr().out
+
+
+class TestTrendGate:
+    def test_gate_fails_on_injected_regression(self, tmp_path, monkeypatch, capsys):
+        store = TrendStore(tmp_path)
+        store.append("E4_scaling", {"mean_words": 1000}, ts=1.0)
+        store.append("E4_scaling", {"mean_words": 2000}, ts=2.0)
+        monkeypatch.chdir(tmp_path)
+        assert main(["trends", "--gate"]) == 1
+        out = capsys.readouterr().out
+        assert "GATE: FAIL" in out
+        assert "mean_words" in out and "DRIFT" in out
+
+    def test_gate_passes_within_tolerance(self, tmp_path, monkeypatch, capsys):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100}, ts=1.0)
+        store.append("bench", {"words": 104}, ts=2.0)
+        monkeypatch.chdir(tmp_path)
+        assert main(["trends", "--gate"]) == 0
+        assert "GATE: PASS" in capsys.readouterr().out
+
+    def test_tolerance_flag_tightens_the_gate(self, tmp_path, monkeypatch):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100}, ts=1.0)
+        store.append("bench", {"words": 110}, ts=2.0)
+        monkeypatch.chdir(tmp_path)
+        assert main(["trends", "--gate"]) == 0  # default 25%
+        assert main(["trends", "--gate", "--tolerance", "5"]) == 1
+
+    def test_gate_passes_on_real_store(self, tmp_path, monkeypatch, capsys):
+        # The CI wiring: two real conformance runs append to the store,
+        # then the gate must pass -- the sweep is deterministic, so the
+        # two payloads' numeric leaves are identical.
+        monkeypatch.chdir(tmp_path)
+        for _ in range(2):
+            main(["check", "--n", "16", "--seeds", "1", "--protocols", "whp_ba"])
+        capsys.readouterr()
+        assert main(["trends", "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "GATE: PASS" in out and "conformance" in out
+
+    def test_empty_store_passes_vacuously(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trends", "--gate"]) == 0
+
+    def test_wallclock_fields_not_gated(self):
+        before = {"words": 100, "wallclock": {"bare_seconds": 1.0}}
+        after = {"words": 100, "wallclock": {"bare_seconds": 9.0}}
+        assert numeric_drifts(before, after, rel_tol=0.25) == []
+        assert "$.words" in numeric_leaves(before)
+
+    def test_gate_verdict_structure(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100}, ts=1.0)
+        store.append("bench", {"words": 400}, ts=2.0)
+        verdict = gate_trends(store, rel_tol=0.25)
+        assert verdict["ok"] is False and verdict["checked"] == 1
+        entry = verdict["series"]["bench"]
+        assert entry["ok"] is False and len(entry["drifts"]) == 1
+        assert entry["tracking"] == "$.words"
+        assert entry["trend"] == [100.0, 400.0]
+        assert "GATE: FAIL" in format_gate(verdict)
+
+
+class TestTrendsWindow:
+    """Satellite: `--last N` widens the sparkline/drift window."""
+
+    def _store(self, tmp_path):
+        store = TrendStore(tmp_path)
+        for index, words in enumerate((100, 150, 200, 400)):
+            store.append("bench", {"words": words}, ts=float(index))
+        return store
+
+    def test_last_flag_widens_drift_baseline(self, tmp_path, monkeypatch, capsys):
+        self._store(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        # Newest vs one back: 200 -> 400 is beyond 150%? No: tolerance
+        # 300% passes the adjacent pair but fails against 4 records back.
+        assert main(["trends", "--gate", "--tolerance", "150"]) == 0
+        assert main(
+            ["trends", "--gate", "--tolerance", "150", "--last", "4"]
+        ) == 1
+        capsys.readouterr()
+
+    def test_sparkline_rendered_over_window(self, tmp_path, monkeypatch, capsys):
+        self._store(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["trends", "--last", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "tracking $.words" in out
+        spark = sparkline([100.0, 150.0, 200.0, 400.0])
+        assert len(spark) == 4 and spark in out
+
+    def test_sparkline_charset(self):
+        assert sparkline([]) == ""
+        assert sparkline([5.0]) == "+"  # the charset's middle level
+        flat = sparkline([3.0, 3.0, 3.0])
+        assert len(set(flat)) == 1
+        ramp = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert ramp[0] == "_" and ramp[-1] == "@"
+
+
+class TestRecordSidecar:
+    def test_record_writes_and_reports_sidecar(self, recorded):
+        root, recording = recorded
+        sidecar = root / "flight.telemetry.json"
+        assert sidecar.exists()
+        snapshot = json.loads(sidecar.read_text())
+        assert snapshot["schema"] == "repro.telemetry"
+        assert snapshot["run"]["n"] == 16
+        assert snapshot["counters"]["delivers"] > 0
+
+    def test_no_telemetry_flag_skips_sidecar(self, tmp_path, capsys):
+        recording = tmp_path / "bare.jsonl"
+        assert main(
+            ["record", "--n", "16", "--seed", "2", "--out", str(recording),
+             "--no-telemetry"]
+        ) == 0
+        assert "sidecar" not in capsys.readouterr().out
+        assert not (tmp_path / "bare.telemetry.json").exists()
+
+    def test_dashboard_falls_back_to_replay_without_sidecar(self, tmp_path):
+        recording = tmp_path / "bare.jsonl"
+        assert main(
+            ["record", "--n", "16", "--seed", "2", "--out", str(recording),
+             "--no-telemetry"]
+        ) == 0
+        out, diagnostics = render_dashboard(
+            tmp_path / "d.html", recording_path=recording, root=tmp_path
+        )
+        document = out.read_text()
+        assert "cumulative words by layer" in document  # replayed telemetry
+        assert not any("telemetry" in d for d in diagnostics)

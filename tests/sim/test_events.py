@@ -78,14 +78,15 @@ SAMPLE_EVENTS = [
     SendEvent(step=1, seq=5, sender=2, dest=3, instance=("shared_coin", 0),
               message_kind="FirstMsg", words=4, depth=1, sender_correct=True),
     DeliverEvent(step=2, seq=5, sender=2, dest=3, instance=("shared_coin", 0),
-                 message_kind="FirstMsg", words=4, depth=1,
+                 message_kind="FirstMsg", words=4, depth=1, sent_step=1,
                  summary=PayloadSummary(kind="FirstMsg",
                                         instance=("shared_coin", 0),
                                         words=4, text="FirstMsg(...)")),
     CorruptEvent(step=3, pid=7),
     DecideEvent(step=9, pid=1, value=0, depth=12),
-    WaitBlockEvent(step=4, pid=2, description="shared_coin(0,)", subscribed=True),
-    WaitWakeEvent(step=5, pid=2, description="shared_coin(0,)"),
+    WaitBlockEvent(step=4, pid=2, description="shared_coin(0,)", subscribed=True,
+                   depth=3),
+    WaitWakeEvent(step=5, pid=2, description="shared_coin(0,)", depth=4),
     PhaseEvent(step=6, pid=0, phase="ba-round", instance=("ba", 1), action="enter"),
 ]
 
@@ -176,3 +177,22 @@ class TestKernelEmission:
         # A wake can only follow a block of the same process.
         blocked_pids = {e.pid for e in blocks}
         assert {e.pid for e in wakes} <= blocked_pids
+
+    def test_wait_events_carry_monotone_causal_depth(self):
+        sim = make_coin_sim()
+        events = []
+        sim.events.subscribe(events.append)
+        sim.run()
+        # Causal depth never decreases across a park: the wake's depth is
+        # at least the depth the process blocked at (deliveries only raise
+        # ctx.depth), so wake.depth - block.depth is a valid wait latency.
+        latest_block: dict[int, int] = {}
+        wakes_checked = 0
+        for event in events:
+            if isinstance(event, WaitBlockEvent):
+                assert event.depth >= 0
+                latest_block[event.pid] = event.depth
+            elif isinstance(event, WaitWakeEvent):
+                assert event.depth >= latest_block[event.pid]
+                wakes_checked += 1
+        assert wakes_checked > 0

@@ -32,6 +32,7 @@ class TestEnvelope:
             payload=Payload(instance=("round", 1), secret=9),
             depth=4,
             sender_correct=True,
+            sent_step=0,
         )
         assert env.instance == ("round", 1)
 
@@ -43,6 +44,7 @@ class TestEnvelope:
             payload=Payload(instance="i", secret=42),
             depth=2,
             sender_correct=True,
+            sent_step=0,
         )
         view = EnvelopeView.of(env)
         assert view.seq == 7

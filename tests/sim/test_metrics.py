@@ -22,6 +22,7 @@ def envelope(sender=0, correct=True, message=None, seq=0):
         payload=message or ThreeWord("i"),
         depth=1,
         sender_correct=correct,
+        sent_step=0,
     )
 
 
