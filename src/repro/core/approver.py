@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.committees import committee_val, sample
+from repro.core.committees import membership_checker, sample
 from repro.core.messages import EchoMsg, InitMsg, OkMsg, echo_signing_bytes
 from repro.core.params import ProtocolParams
 from repro.sim.mailbox import Mailbox
@@ -28,6 +28,10 @@ __all__ = ["approve"]
 
 _INIT_ROLE = "init"
 _OK_ROLE = "ok"
+
+# Flush bound for the PKI-attached ok-justification memo; mirrors the
+# PKI's own verify-cache bound (far above a single run's key count).
+_MEMO_MAX_ENTRIES = 1 << 20
 
 
 def _echo_role(value: object) -> tuple:
@@ -58,6 +62,21 @@ def approve(
     committee_quorum = params.committee_quorum
     byzantine_bound = params.committee_byzantine_bound
     pki = ctx.pki
+    # Hoisted validators (same checks/counters as committee_val); the echo
+    # committees are per-value, so their checkers are cached on demand.
+    valid_init_member = membership_checker(pki, instance, _INIT_ROLE, params)
+    valid_ok_member = membership_checker(pki, instance, _OK_ROLE, params)
+    echo_checkers: dict = {}
+
+    def echo_member_checker(candidate: object):
+        try:
+            checker = echo_checkers.get(candidate)
+        except TypeError:  # unhashable Byzantine value: uncached checker
+            return membership_checker(pki, instance, _echo_role(candidate), params)
+        if checker is None:
+            checker = membership_checker(pki, instance, _echo_role(candidate), params)
+            echo_checkers[candidate] = checker
+        return checker
 
     in_init, init_proof = sample(ctx, instance, _INIT_ROLE, params)
     if in_init:
@@ -121,41 +140,91 @@ def approve(
             )
         )
 
-    def valid_ok(sender: int, msg: OkMsg) -> bool:
-        """Validate an ok message: committee membership + W signed echoes."""
-        if not committee_val(pki, instance, _OK_ROLE, sender, msg.membership, params):
-            return False
-        if not justify:
-            # Ablation mode: membership alone admits the ok (unsound!).
-            return True
+    def justification_valid(msg: OkMsg) -> bool:
+        """The pure part of ok validation: W distinct, signed, member echoes.
+
+        Depends only on ``(instance, msg.value, msg.justification, params)``
+        -- never on the receiver -- so its verdict (and the exact number of
+        VRF/signature verifications it performs, all cache hits after the
+        first receiver) can be shared across receivers via the PKI memo.
+        """
         if len(msg.justification) < committee_quorum:
             return False
         seen: set[int] = set()
         signing_bytes = echo_signing_bytes(instance, msg.value)
-        role = _echo_role(msg.value)
+        check_member = echo_member_checker(msg.value)
+        signature_verify = pki.signature_verify
         for entry in msg.justification:
             if not isinstance(entry, tuple) or len(entry) != 3:
                 return False
             echo_sender, membership, signature = entry
             if echo_sender in seen:
                 return False
-            if not committee_val(pki, instance, role, echo_sender, membership, params):
+            if not check_member(echo_sender, membership):
                 return False
-            if not ctx.verify_signature(echo_sender, signing_bytes, signature):
+            if not signature_verify(echo_sender, signing_bytes, signature):
                 return False
             seen.add(echo_sender)
         return len(seen) >= committee_quorum
 
+    def valid_ok(sender: int, msg: OkMsg) -> bool:
+        """Validate an ok message: committee membership + W signed echoes."""
+        if not valid_ok_member(sender, msg.membership):
+            return False
+        if not justify:
+            # Ablation mode: membership alone admits the ok (unsound!).
+            return True
+        if not pki.verify_cache_enabled:
+            return justification_valid(msg)
+        # Broadcast delivers the *same* message object to every receiver,
+        # so the justification tuple is keyed by identity -- no O(W)
+        # structural hash per lookup.  The entry pins the tuple (keeping
+        # its id live for as long as the memo holds it); instance and
+        # value scope the verdict, and the identity pin already ties the
+        # entry to this run's objects, so params stays out of the key
+        # (its Python-level __hash__ would run on every lookup).
+        memo = pki.shared_validation_memo
+        justification = msg.justification
+        try:
+            key = ("approver-ok-just", instance, msg.value, id(justification))
+            cached = memo.get(key)
+        except TypeError:  # unhashable Byzantine content: validate directly
+            return justification_valid(msg)
+        if cached is not None and cached[3] is justification:
+            verdict, vrf_calls, sig_calls, _ = cached
+            # A re-execution would hit the per-call verify caches on every
+            # call, so crediting them all as hits reproduces its counters.
+            pki.replay_cached(vrf_calls, sig_calls)
+            return verdict
+        vrf_before = pki.vrf_verifications
+        sig_before = pki.sig_verifications
+        verdict = justification_valid(msg)
+        if len(memo) >= _MEMO_MAX_ENTRIES:
+            memo.clear()
+        memo[key] = (
+            verdict,
+            pki.vrf_verifications - vrf_before,
+            pki.sig_verifications - sig_before,
+            justification,
+        )
+        return verdict
+
+    stream: list | None = None
+
     def step(mailbox: Mailbox):
-        nonlocal cursor
-        stream = mailbox.stream(instance)
-        while cursor < len(stream):
-            sender, msg = stream[cursor]
+        nonlocal cursor, stream
+        s = stream
+        if s is None:
+            # The instance's buffer list is identity-stable once created
+            # (append-only); cache it and skip the per-evaluation lookup.
+            s = mailbox.stream(instance)
+            if type(s) is list:
+                stream = s
+        while cursor < len(s):
+            sender, msg = s[cursor]
             cursor += 1
             if isinstance(msg, InitMsg):
-                if not committee_val(
-                    pki, instance, _INIT_ROLE, sender, msg.membership, params
-                ):
+                if not valid_init_member(sender, msg.membership):
                     continue
                 init_senders.setdefault(msg.value, set()).add(sender)
                 maybe_echo(msg.value)
@@ -163,11 +232,9 @@ def approve(
                 records = echo_records.setdefault(msg.value, {})
                 if sender in records:
                     continue
-                if not committee_val(
-                    pki, instance, _echo_role(msg.value), sender, msg.membership, params
-                ):
+                if not echo_member_checker(msg.value)(sender, msg.membership):
                     continue
-                if not ctx.verify_signature(
+                if not pki.signature_verify(
                     sender, echo_signing_bytes(instance, msg.value), msg.signature
                 ):
                     continue
@@ -185,8 +252,14 @@ def approve(
         return None
 
     with ctx.span("approve", instance):
+        # min_count: the earliest side effect (echoing a value) needs B+1
+        # init messages for that value, so the instance must hold at least
+        # B+1 deliveries before the condition can do anything.
         result = yield Wait(
-            step, description=f"approve{instance}", instances={instance}
+            step,
+            description=f"approve{instance}",
+            instances={instance},
+            min_count=byzantine_bound + 1,
         )
     observed_init: set[int] = set()
     for senders in init_senders.values():

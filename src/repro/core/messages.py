@@ -17,7 +17,7 @@ from typing import Hashable
 from repro.crypto.hashing import encode
 from repro.crypto.pki import PKI
 from repro.crypto.vrf import VRFOutput
-from repro.core.committees import committee_val
+from repro.core.committees import committee_val, membership_checker
 from repro.core.params import ProtocolParams
 from repro.sim.messages import Message
 
@@ -29,6 +29,7 @@ __all__ = [
     "OkMsg",
     "SecondMsg",
     "coin_value_alpha",
+    "coin_value_checker",
     "echo_signing_bytes",
     "validate_coin_value",
 ]
@@ -99,6 +100,72 @@ def validate_coin_value(
             params,
         )
     return True
+
+
+def coin_value_checker(
+    pki: PKI,
+    instance: Hashable,
+    params: ProtocolParams,
+    first_committee_role: Hashable | None,
+):
+    """:func:`validate_coin_value`, partially evaluated for one instance.
+
+    Returns ``check(coin_value) -> bool`` performing exactly the same
+    checks in the same order (so the PKI's verification counters advance
+    identically), with the alpha bytes and -- in the committee-based
+    variant -- the FIRST-committee seed/threshold hoisted out of the
+    per-message loop.
+
+    When the PKI's verify cache is on, verdicts are additionally memoized
+    in ``pki.shared_validation_memo`` against the identity of the
+    :class:`CoinValue` object (broadcasts deliver one shared object to
+    every receiver, and SECOND messages re-carry FIRST values): a repeat
+    check -- by any receiver -- replays the recorded verdict and credits
+    the PKI counters exactly as the guaranteed cache hits would have.  A
+    structurally different object (Byzantine per-receiver variant) takes
+    the full path.
+    """
+    alpha = coin_value_alpha(instance)
+    check_origin_membership = (
+        membership_checker(pki, instance, first_committee_role, params)
+        if first_committee_role is not None
+        else None
+    )
+    memo = pki.shared_validation_memo
+
+    def check(coin_value: CoinValue) -> bool:
+        origin = coin_value.origin
+        if pki.verify_cache_enabled:
+            # origin is a pid (int): the pid-range check in vrf_verify
+            # rejects anything else, so the key is always hashable.
+            key = ("coin-value", alpha, origin)
+            prev = memo.get(key)
+            if prev is not None and prev[0] is coin_value:
+                pki.replay_cached(prev[2], 0)
+                return prev[1]
+        else:
+            key = None
+        if not isinstance(coin_value.vrf, VRFOutput):
+            return False
+        if coin_value.value != coin_value.vrf.value:
+            return False
+        vrf_before = pki.vrf_verifications
+        if not pki.vrf_verify(origin, alpha, coin_value.vrf):
+            verdict = False
+        elif check_origin_membership is not None:
+            if coin_value.origin_membership is None:
+                verdict = False
+            else:
+                verdict = check_origin_membership(
+                    coin_value.origin, coin_value.origin_membership
+                )
+        else:
+            verdict = True
+        if key is not None:
+            memo[key] = (coin_value, verdict, pki.vrf_verifications - vrf_before)
+        return verdict
+
+    return check
 
 
 @dataclass

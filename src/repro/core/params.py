@@ -69,6 +69,16 @@ class ProtocolParams:
             if not 0 < self.d < 1 / 3:
                 raise ValueError("need 0 < d < 1/3")
 
+    def __hash__(self) -> int:
+        # One parameter bundle is hashed on every memo/lru lookup of the
+        # validation hot path; compute the field hash once per instance.
+        # Same value as the generated hash, so equal bundles hash equal.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.n, self.f, self.lam, self.d))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
     # -- resilience ------------------------------------------------------------
 
     @property

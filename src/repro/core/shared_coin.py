@@ -22,7 +22,7 @@ from repro.core.messages import (
     FirstMsg,
     SecondMsg,
     coin_value_alpha,
-    validate_coin_value,
+    coin_value_checker,
 )
 from repro.core.params import ProtocolParams
 from repro.sim.mailbox import Mailbox
@@ -45,6 +45,7 @@ def shared_coin(
     instance = ("shared_coin", round_id)
     quorum = params.quorum
     pki = ctx.pki
+    valid_value = coin_value_checker(pki, instance, params, None)
 
     my_output = ctx.vrf(coin_value_alpha(instance))
     my_value = CoinValue(value=my_output.value, origin=ctx.pid, vrf=my_output)
@@ -58,11 +59,18 @@ def shared_coin(
     second_senders: set[int] = set()
     cursor = 0
 
+    stream: list | None = None
+
     def step(mailbox: Mailbox):
-        nonlocal cursor
-        stream = mailbox.stream(instance)
-        while cursor < len(stream):
-            sender, msg = stream[cursor]
+        nonlocal cursor, stream
+        s = stream
+        if s is None:
+            # Identity-stable once created (append-only): cache the list.
+            s = mailbox.stream(instance)
+            if type(s) is list:
+                stream = s
+        while cursor < len(s):
+            sender, msg = s[cursor]
             cursor += 1
             if isinstance(msg, FirstMsg):
                 if sender in first_senders:
@@ -70,7 +78,7 @@ def shared_coin(
                 # In Algorithm 1 the FIRST value must be the sender's own.
                 if msg.coin_value.origin != sender:
                     continue
-                if not validate_coin_value(pki, msg.coin_value, instance, params, None):
+                if not valid_value(msg.coin_value):
                     continue
                 first_senders.add(sender)
                 if msg.coin_value.value < state["min"].value:
@@ -78,7 +86,7 @@ def shared_coin(
             elif isinstance(msg, SecondMsg):
                 if sender in second_senders:
                     continue
-                if not validate_coin_value(pki, msg.coin_value, instance, params, None):
+                if not valid_value(msg.coin_value):
                     continue
                 second_senders.add(sender)
                 if msg.coin_value.value < state["min"].value:
@@ -91,8 +99,14 @@ def shared_coin(
         return None
 
     with ctx.span("shared_coin", instance):
+        # min_count: the earliest side effect (broadcasting SECOND) needs
+        # `quorum` FIRST messages, so the instance must hold at least
+        # `quorum` deliveries before the condition can do anything.
         result = yield Wait(
-            step, description=f"shared_coin{instance}", instances={instance}
+            step,
+            description=f"shared_coin{instance}",
+            instances={instance},
+            min_count=quorum,
         )
     ctx.annotate(
         "coin",

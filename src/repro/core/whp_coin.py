@@ -13,13 +13,13 @@ from __future__ import annotations
 
 from typing import Hashable
 
-from repro.core.committees import committee_val, sample
+from repro.core.committees import membership_checker, sample
 from repro.core.messages import (
     CoinValue,
     FirstMsg,
     SecondMsg,
     coin_value_alpha,
-    validate_coin_value,
+    coin_value_checker,
 )
 from repro.core.params import ProtocolParams
 from repro.sim.mailbox import Mailbox
@@ -50,6 +50,10 @@ def whp_coin(
     instance = ("whp_coin", round_id)
     committee_quorum = params.committee_quorum
     pki = ctx.pki
+    # Hoisted validators (same checks/counters as the free functions).
+    valid_first_member = membership_checker(pki, instance, _FIRST_ROLE, params)
+    valid_second_member = membership_checker(pki, instance, _SECOND_ROLE, params)
+    valid_value = coin_value_checker(pki, instance, params, _FIRST_ROLE)
 
     in_first, first_proof = sample(ctx, instance, _FIRST_ROLE, params)
     if in_first:
@@ -79,11 +83,18 @@ def whp_coin(
         if state["min"] is None or coin_value.value < state["min"].value:
             state["min"] = coin_value
 
+    stream: list | None = None
+
     def step(mailbox: Mailbox):
-        nonlocal cursor
-        stream = mailbox.stream(instance)
-        while cursor < len(stream):
-            sender, msg = stream[cursor]
+        nonlocal cursor, stream
+        s = stream
+        if s is None:
+            # Identity-stable once created (append-only): cache the list.
+            s = mailbox.stream(instance)
+            if type(s) is list:
+                stream = s
+        while cursor < len(s):
+            sender, msg = s[cursor]
             cursor += 1
             if isinstance(msg, FirstMsg):
                 # Only SECOND-committee members act on FIRST messages.
@@ -91,26 +102,18 @@ def whp_coin(
                     continue
                 if msg.coin_value.origin != sender:
                     continue
-                if not committee_val(
-                    pki, instance, _FIRST_ROLE, sender, msg.membership, params
-                ):
+                if not valid_first_member(sender, msg.membership):
                     continue
-                if not validate_coin_value(
-                    pki, msg.coin_value, instance, params, _FIRST_ROLE
-                ):
+                if not valid_value(msg.coin_value):
                     continue
                 first_senders.add(sender)
                 consider(msg.coin_value)
             elif isinstance(msg, SecondMsg):
                 if sender in second_senders:
                     continue
-                if not committee_val(
-                    pki, instance, _SECOND_ROLE, sender, msg.membership, params
-                ):
+                if not valid_second_member(sender, msg.membership):
                     continue
-                if not validate_coin_value(
-                    pki, msg.coin_value, instance, params, _FIRST_ROLE
-                ):
+                if not valid_value(msg.coin_value):
                     continue
                 second_senders.add(sender)
                 consider(msg.coin_value)
@@ -128,8 +131,14 @@ def whp_coin(
         return None
 
     with ctx.span("whp_coin", instance):
+        # min_count: the earliest side effect (a SECOND-committee member
+        # broadcasting its SECOND) needs W valid FIRSTs; returning needs W
+        # valid SECONDs -- either way, at least W messages must be in.
         result = yield Wait(
-            step, description=f"whp_coin{instance}", instances={instance}
+            step,
+            description=f"whp_coin{instance}",
+            instances={instance},
+            min_count=committee_quorum,
         )
     ctx.annotate(
         "committee", instance=instance, role=_FIRST_ROLE, size=len(first_senders)

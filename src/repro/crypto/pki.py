@@ -68,6 +68,15 @@ class PKI:
         self.verify_cache_enabled = verify_cache
         self._vrf_cache: dict[tuple, bool] = {}
         self._sig_cache: dict[tuple, bool] = {}
+        # Cross-receiver validation memo for *compound* checks (e.g. the
+        # approver's ok-justification: W membership proofs + W signatures
+        # validated identically by every receiver).  Protocol code stores
+        # ``key -> (verdict, vrf_calls, sig_calls)`` and replays the
+        # counter deltas through :meth:`replay_cached` on a hit.  Gated on
+        # ``verify_cache_enabled`` by the protocols, cleared with the
+        # verify caches; soundness rests on the same purity argument as
+        # the per-call caches (fixed keys, deterministic schemes).
+        self.shared_validation_memo: dict = {}
         # Monotone counters; the kernel reports per-run deltas of these
         # through MetricsRecorder (see Simulation.run).
         self.vrf_verifications = 0
@@ -121,6 +130,20 @@ class PKI:
     def clear_verify_cache(self) -> None:
         self._vrf_cache.clear()
         self._sig_cache.clear()
+        self.shared_validation_memo.clear()
+
+    def replay_cached(self, vrf_calls: int, sig_calls: int) -> None:
+        """Account for a memoized compound validation's verify calls.
+
+        Replaying the direct path would have made ``vrf_calls`` VRF and
+        ``sig_calls`` signature verifications, all answered from the
+        per-call caches (the first execution populated them); bump the
+        monotone counters exactly as those calls would have.
+        """
+        self.vrf_verifications += vrf_calls
+        self.vrf_cache_hits += vrf_calls
+        self.sig_verifications += sig_calls
+        self.sig_cache_hits += sig_calls
 
     def verification_counters(self) -> tuple[int, int, int, int]:
         """``(vrf_calls, vrf_hits, sig_calls, sig_hits)`` since construction."""

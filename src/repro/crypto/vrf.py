@@ -67,6 +67,18 @@ class VRFOutput:
         if not 0 <= self.value < (1 << VRF_OUTPUT_BITS):
             raise ValueError("VRF value out of range")
 
+    def __hash__(self) -> int:
+        # Outputs are hashed constantly (verify-cache and validation-memo
+        # keys) and the 256-bit value makes each hash non-trivial, so the
+        # hash is computed once and cached on the instance.  Same value as
+        # the generated ``hash((value, proof))``, so equal outputs still
+        # hash equal; unhashable custom proofs still raise TypeError here.
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = hash((self.value, self.proof))
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
 
 class VRFScheme(ABC):
     """Abstract VRF: keygen / prove / verify.

@@ -21,7 +21,44 @@ from repro.experiments.protocols import make_runner
 from repro.experiments.tables import format_table
 from repro.sim.runner import run_protocol, stop_when_all_decided
 
-__all__ = ["ScalingCurve", "format_scaling", "run"]
+__all__ = ["ScalingCurve", "format_scaling", "make_adversary", "run"]
+
+# Scheduler registry for sweep trials.  Trials run in worker processes
+# that rebuild everything from primitive (picklable) arguments, so the
+# sweep API takes a scheduler *name* rather than an instance; ``None``
+# keeps run_protocol's seeded uniform-random default.
+_SCHEDULERS = ("fifo", "delay", "random")
+
+
+def make_adversary(scheduler: str | None, f_used: int, seed: int):
+    """Build the (picklable-by-name) adversary for one sweep trial."""
+    if scheduler is None:
+        return None
+    import random as _random
+
+    from repro.crypto.hashing import derive_seed
+    from repro.sim.adversary import (
+        Adversary,
+        DelayBoundedScheduler,
+        FIFOScheduler,
+        RandomScheduler,
+        StaticCorruption,
+    )
+
+    rng = _random.Random(derive_seed(seed, "sched"))
+    if scheduler == "fifo":
+        chosen = FIFOScheduler()
+    elif scheduler == "delay":
+        chosen = DelayBoundedScheduler(rng=rng)
+    elif scheduler == "random":
+        chosen = RandomScheduler(rng)
+    else:
+        raise ValueError(
+            f"unknown scheduler {scheduler!r}; expected one of {_SCHEDULERS}"
+        )
+    return Adversary(
+        scheduler=chosen, corruption=StaticCorruption(set(range(f_used)))
+    )
 
 
 def _trial(
@@ -31,6 +68,8 @@ def _trial(
     seed: int,
     whp_sigmas: float,
     max_deliveries: int,
+    scheduler: str | None = None,
+    delivery_mode: str = "classic",
 ) -> tuple[float | None, tuple[int, int, int] | None]:
     """One seeded run; top-level so sweep workers can pickle it.
 
@@ -42,10 +81,15 @@ def _trial(
         name, n, f=f, seed=seed, whp_sigmas=whp_sigmas
     )
     lam = params.lam if params.lam is not None else 8 * math.log(n)
+    adversary = make_adversary(scheduler, f_used, seed)
     result = run_protocol(
-        n, f_used, factory, corrupt=set(range(f_used)), params=params,
+        n, f_used, factory,
+        adversary=adversary,
+        corrupt=None if adversary is not None else set(range(f_used)),
+        params=params,
         stop_condition=stop_when_all_decided, seed=seed,
         max_deliveries=max_deliveries,
+        delivery_mode=delivery_mode,
     )
     if not (result.live and result.all_correct_decided):
         return lam, None
@@ -79,6 +123,8 @@ def run_curve(
     f: int | None = None,
     whp_sigmas: float = 3.0,
     workers: int | None = None,
+    scheduler: str | None = None,
+    delivery_mode: str = "classic",
 ) -> ScalingCurve:
     words_per_n: list[float] = []
     messages_per_n: list[float] = []
@@ -89,7 +135,11 @@ def run_curve(
     for n in n_values:
         outcomes = parallel_map(
             _trial,
-            [(name, n, f, seed, whp_sigmas, max_deliveries) for seed in seeds],
+            [
+                (name, n, f, seed, whp_sigmas, max_deliveries,
+                 scheduler, delivery_mode)
+                for seed in seeds
+            ],
             workers=workers,
         )
         lam = outcomes[-1][0] if outcomes else None
@@ -137,6 +187,8 @@ def run(
     f: int | None = None,
     whp_sigmas: float = 3.0,
     workers: int | None = None,
+    scheduler: str | None = None,
+    delivery_mode: str = "classic",
 ) -> list[ScalingCurve]:
     """Sweep n for each protocol.
 
@@ -147,9 +199,19 @@ def run(
     ~(sigmas/epsilon)^2 regardless of n), so growing f with n would keep
     the measurement pinned in the pre-asymptotic lambda-growth regime --
     the resilience-stressed configurations live in T1/E8 instead.
+
+    ``scheduler`` names the delivery schedule (``"fifo"``, ``"delay"``,
+    ``"random"``; ``None`` = run_protocol's seeded random default) and
+    ``delivery_mode`` selects the kernel loop (``"classic"``/
+    ``"batched"``) -- both paths produce byte-identical results, so
+    large-n sweeps can use the batched kernel without changing any
+    measurement.
     """
     return [
-        run_curve(name, n_values, seeds, f=f, whp_sigmas=whp_sigmas, workers=workers)
+        run_curve(
+            name, n_values, seeds, f=f, whp_sigmas=whp_sigmas,
+            workers=workers, scheduler=scheduler, delivery_mode=delivery_mode,
+        )
         for name in protocols
     ]
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import heapq
 import random
+from collections import deque
 from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.sim.byzantine import ByzantineBehavior, SilentBehavior
@@ -34,6 +35,7 @@ __all__ = [
     "Adversary",
     "ContentAwareMinWithholdScheduler",
     "CorruptionStrategy",
+    "DelayBoundedScheduler",
     "FIFOScheduler",
     "PartitionScheduler",
     "RandomScheduler",
@@ -82,12 +84,37 @@ class Scheduler:
     ``content_aware`` declares whether the scheduler may read payloads; the
     pool refuses payload access to schedulers that do not set it, so a
     scheduler cannot *accidentally* break the delayed-adaptive model.
+
+    ``wants_view`` declares whether :meth:`on_submit` reads its ``view``
+    argument.  Schedulers whose submission bookkeeping is seq-only (FIFO,
+    delay-bounded) set it False and the kernel skips building the
+    per-submission :class:`EnvelopeView` -- measurable at n>=1000 where
+    submissions outnumber deliveries' other overheads.
     """
 
     content_aware = False
+    wants_view = True
 
-    def on_submit(self, seq: int, view: EnvelopeView) -> None:
-        """Hook: a new message entered the network."""
+    def on_submit(self, seq: int, view: EnvelopeView | None) -> None:
+        """Hook: a new message entered the network.
+
+        ``view`` is ``None`` when the scheduler declared
+        ``wants_view = False``.
+        """
+
+    def on_submit_range(self, start: int, stop: int) -> None:
+        """Hook: seqs ``start..stop-1`` entered the network, in order.
+
+        Equivalent to ``on_submit(seq, None)`` per seq; the kernel uses it
+        for broadcasts (one call per message instead of one per copy) and
+        only when ``wants_view`` is False.  Schedulers may override it with
+        a bulk insert; the override must leave the scheduler in exactly
+        the state the per-seq calls would (including RNG draws, in seq
+        order).
+        """
+        on_submit = self.on_submit
+        for seq in range(start, stop):
+            on_submit(seq, None)
 
     def on_delivered(self, seq: int) -> None:
         """Hook: a message left the network."""
@@ -95,6 +122,31 @@ class Scheduler:
     def choose(self, pool: "SchedulerPool") -> int:
         """Return the ``seq`` of the message to deliver next."""
         raise NotImplementedError
+
+    def drain(self, pool: "SchedulerPool", limit: int) -> list[int] | None:
+        """Return a batch of seqs committed for delivery, oldest first.
+
+        The batched-kernel contract: the returned list must be **exactly**
+        the sequence of seqs that ``limit`` consecutive
+        ``choose``/``on_delivered`` cycles would have produced, *no matter
+        what messages are submitted between those deliveries*.  A scheduler
+        can only promise that when its future choices are insensitive to
+        future submissions over the batch -- FIFO (new seqs sort after
+        every drained seq) and bounded-delay schedules (ranks of future
+        submissions are bounded below) qualify; a uniformly random
+        scheduler does not, because each submission reweights every
+        subsequent draw.
+
+        Drained seqs leave the scheduler's bookkeeping immediately: the
+        kernel does **not** call :meth:`on_delivered` for them.  The kernel
+        delivers the batch as a prefix -- it abandons the remainder only
+        when the run terminates mid-batch (stop condition or delivery
+        budget), in which case the scheduler is never consulted again.
+
+        Return ``None`` (the default) to decline; the kernel falls back to
+        the classic one-``choose``-per-delivery step.
+        """
+        return None
 
 
 class RandomScheduler(Scheduler):
@@ -111,23 +163,115 @@ class FIFOScheduler(Scheduler):
     """Delivers messages in submission order (a synchronous-looking run).
 
     Useful as a best-case debugging schedule; it is of course also a legal
-    asynchronous adversary.
+    asynchronous adversary.  Supports batched drain: seqs are assigned
+    monotonically, so every message submitted *during* a batch sorts after
+    every message drained *into* it -- consecutive ``choose`` calls would
+    return exactly the drained prefix.
     """
 
+    wants_view = False
+
     def __init__(self) -> None:
-        self._heap: list[int] = []
+        # The kernel assigns seqs monotonically, so submission order IS
+        # ascending seq order: a deque (O(1) at both ends) replaces the
+        # heap with identical delivery order.
+        self._queue: deque[int] = deque()
         self._delivered: set[int] = set()
 
-    def on_submit(self, seq: int, view: EnvelopeView) -> None:
-        heapq.heappush(self._heap, seq)
+    def on_submit(self, seq: int, view: EnvelopeView | None) -> None:
+        self._queue.append(seq)
+
+    def on_submit_range(self, start: int, stop: int) -> None:
+        self._queue.extend(range(start, stop))
 
     def on_delivered(self, seq: int) -> None:
         self._delivered.add(seq)
 
     def choose(self, pool: "SchedulerPool") -> int:
-        while self._heap and self._heap[0] in self._delivered:
-            self._delivered.discard(heapq.heappop(self._heap))
-        return self._heap[0]
+        queue = self._queue
+        delivered = self._delivered
+        while queue and queue[0] in delivered:
+            delivered.discard(queue.popleft())
+        return queue[0]
+
+    def drain(self, pool: "SchedulerPool", limit: int) -> list[int] | None:
+        queue = self._queue
+        delivered = self._delivered
+        popleft = queue.popleft
+        batch: list[int] = []
+        append = batch.append
+        while queue and len(batch) < limit:
+            seq = popleft()
+            if seq in delivered:
+                delivered.discard(seq)
+            else:
+                append(seq)
+        return batch or None
+
+
+class DelayBoundedScheduler(Scheduler):
+    """Random reordering with a bounded per-message delay.
+
+    Each submission draws an integer jitter in ``[0, max_delay]`` and is
+    delivered in order of ``rank = seq + jitter`` (ties by seq) -- every
+    message overtakes at most ``max_delay`` later submissions, the classic
+    bounded-asynchrony schedule.  ``max_delay=0`` degenerates to FIFO.
+
+    Supports batched drain: a message submitted in the future has
+    ``rank >= next unseen seq``, so every in-flight entry ranked below
+    that bound is already committed -- no future submission can preempt
+    it.  That makes this the canonical *randomised* schedule the batched
+    kernel can exploit at n>=1000.
+    """
+
+    wants_view = False
+
+    def __init__(self, max_delay: int = 64, rng: random.Random | None = None) -> None:
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.max_delay = max_delay
+        self.rng = rng or random.Random()
+        self._heap: list[tuple[int, int]] = []
+        self._delivered: set[int] = set()
+        self._next_seq_bound = 0
+
+    def on_submit(self, seq: int, view: EnvelopeView | None) -> None:
+        if seq >= self._next_seq_bound:
+            self._next_seq_bound = seq + 1
+        heapq.heappush(self._heap, (seq + self.rng.randint(0, self.max_delay), seq))
+
+    def on_submit_range(self, start: int, stop: int) -> None:
+        # Same state and RNG draws as per-seq on_submit, in seq order.
+        if stop > self._next_seq_bound:
+            self._next_seq_bound = stop
+        heap = self._heap
+        push = heapq.heappush
+        randint = self.rng.randint
+        max_delay = self.max_delay
+        for seq in range(start, stop):
+            push(heap, (seq + randint(0, max_delay), seq))
+
+    def on_delivered(self, seq: int) -> None:
+        self._delivered.add(seq)
+
+    def choose(self, pool: "SchedulerPool") -> int:
+        while self._heap and self._heap[0][1] in self._delivered:
+            self._delivered.discard(heapq.heappop(self._heap)[1])
+        return self._heap[0][1]
+
+    def drain(self, pool: "SchedulerPool", limit: int) -> list[int] | None:
+        heap = self._heap
+        delivered = self._delivered
+        bound = self._next_seq_bound
+        pop = heapq.heappop
+        batch: list[int] = []
+        while heap and len(batch) < limit and heap[0][0] < bound:
+            seq = pop(heap)[1]
+            if seq in delivered:
+                delivered.discard(seq)
+            else:
+                batch.append(seq)
+        return batch or None
 
 
 class TargetedDelayScheduler(Scheduler):

@@ -67,16 +67,30 @@ class _InstanceStream:
 
 
 class Mailbox:
-    """All messages delivered to one process, grouped by instance."""
+    """All messages delivered to one process, grouped by instance.
+
+    ``counts`` is the per-instance delivery counter, maintained on
+    :meth:`add`: the kernel's incremental-quorum gate (``Wait.min_count``)
+    reads message totals off it in O(subscribed instances) when a wait
+    blocks, instead of rescanning buffered streams on every delivery.
+    """
 
     def __init__(self) -> None:
         self._by_instance: dict[Hashable, list[tuple[int, Message]]] = {}
+        self.counts: dict[Hashable, int] = {}
         self.total_delivered = 0
 
     def add(self, sender: int, message: Message) -> None:
         """Record a delivered message (called by the kernel only)."""
-        self._by_instance.setdefault(message.instance, []).append((sender, message))
+        instance = message.instance
+        self._by_instance.setdefault(instance, []).append((sender, message))
+        self.counts[instance] = self.counts.get(instance, 0) + 1
         self.total_delivered += 1
+
+    def total_for(self, instances) -> int:
+        """Total messages delivered across ``instances`` (O(len(instances)))."""
+        counts = self.counts
+        return sum(counts.get(instance, 0) for instance in instances)
 
     def stream(self, instance: Hashable) -> list[tuple[int, Message]]:
         """The (growing) list of ``(sender, message)`` for ``instance``.
@@ -95,4 +109,4 @@ class Mailbox:
         return iter(self._by_instance)
 
     def count(self, instance: Hashable) -> int:
-        return len(self._by_instance.get(instance, ()))
+        return self.counts.get(instance, 0)

@@ -20,7 +20,7 @@ import time
 from typing import Any, Callable
 
 from repro.crypto.pki import PKI
-from repro.sim.adversary import Adversary
+from repro.sim.adversary import Adversary, CorruptionStrategy, Scheduler
 from repro.sim.events import (
     CorruptEvent,
     DeliverEvent,
@@ -122,6 +122,20 @@ class Simulation:
         ``metrics.phase_timings``.  Off by default: timing every delivery
         is not free and wall-clock is the one observable that legitimately
         differs between identical runs.
+    delivery_mode:
+        ``"classic"`` (default) runs one scheduler ``choose`` per
+        delivery.  ``"batched"`` asks the scheduler to
+        :meth:`~repro.sim.adversary.Scheduler.drain` every committed seq
+        in one call and delivers the batch in a tight loop -- observably
+        identical (the drain contract guarantees the same delivery order,
+        and every per-delivery effect, including stop-condition checks,
+        corruption hooks and wait evaluation, still happens per
+        envelope), but without the per-delivery dispatch overhead.
+        Schedulers that decline to drain (e.g. uniformly random) fall
+        back to the classic step, so batched mode is always safe to
+        request.  Under ``profile=True`` the classic loop is used
+        regardless, so the ``kernel.schedule``/``kernel.step`` timers
+        keep their per-delivery meaning.
     """
 
     def __init__(
@@ -136,11 +150,17 @@ class Simulation:
         stop_condition: Callable[["Simulation"], bool] | None = None,
         eager_wakeups: bool = False,
         profile: bool = False,
+        delivery_mode: str = "classic",
     ) -> None:
         if pki.n != n:
             raise ValueError("PKI size does not match n")
         if not 0 <= f < n:
             raise ValueError("need 0 <= f < n")
+        if delivery_mode not in ("classic", "batched"):
+            raise ValueError(
+                f"unknown delivery_mode {delivery_mode!r}; "
+                "expected 'classic' or 'batched'"
+            )
         self.n = n
         self.f = f
         self.pki = pki
@@ -151,12 +171,18 @@ class Simulation:
         self.stop_condition = stop_condition
         self.eager_wakeups = eager_wakeups
         self.profile = profile
+        self.delivery_mode = delivery_mode
         self.metrics = MetricsRecorder()
         # The kernel event bus.  Emission sites read this list reference
         # directly: `if subscribers:` is the whole no-subscriber cost.
         self.events = EventBus()
         self._subscribers = self.events.subscribers
         self.deliveries = 0
+        # Batch accounting (kernel-side, deliberately *not* in metrics so
+        # classic and batched runs stay byte-identical): deliveries that
+        # arrived via a drained batch, and the number of batches.
+        self.batched_deliveries = 0
+        self.drain_batches = 0
 
         self.contexts = [ProcessContext(pid, self) for pid in range(n)]
         self.corrupted: set[int] = set()
@@ -167,6 +193,10 @@ class Simulation:
         self._behaviors: dict[int, Any] = {}
         self._generators: dict[int, Any] = {}
         self._pending: dict[int, Wait | None] = {}
+        # Incremental-quorum countdown per blocked pid: subscribed
+        # deliveries still needed before the pending wait's min_count
+        # floor is reached (0 = evaluate normally).
+        self._pending_remaining: dict[int, int] = {}
         self._factories: dict[int, ProtocolFactory] = {}
 
         self._in_flight: dict[int, Envelope] = {}
@@ -176,6 +206,25 @@ class Simulation:
         self._pool = SchedulerPool(self)
         self._stopped = False
         self._started = False
+        # Set again by run(); initialised here so a never-run simulation
+        # answers `exhausted`/`deadlocked` instead of raising.
+        self.exhausted = False
+        # Submission fast path: skip the per-envelope EnvelopeView (and
+        # the call itself) when the scheduler's on_submit is the base
+        # no-op or declares it ignores the view.
+        scheduler = adversary.scheduler
+        if type(scheduler).on_submit is Scheduler.on_submit:
+            self._submit_hook = None
+        else:
+            self._submit_hook = scheduler.on_submit
+        self._submit_wants_view = bool(getattr(scheduler, "wants_view", True))
+        # Corruption fast path: a strategy that keeps the base no-op
+        # on_delivery never reacts, so the per-delivery view/frozenset
+        # construction can be skipped entirely.
+        self._corruption_reacts = (
+            type(adversary.corruption).on_delivery
+            is not CorruptionStrategy.on_delivery
+        )
 
     # -- configuration ---------------------------------------------------------
 
@@ -193,15 +242,20 @@ class Simulation:
         """Place a message on the reliable link from ``sender`` to ``dest``."""
         if not 0 <= dest < self.n:
             raise ValueError(f"invalid destination {dest}")
+        if not 0 <= sender < self.n:
+            # A negative sender would silently index contexts[-1] and stamp
+            # the wrong depth/sender_correct; fail like an invalid dest.
+            raise ValueError(f"invalid sender {sender}")
         ctx = self.contexts[sender]
+        # Positional: keyword construction measurably slows this path.
         envelope = Envelope(
-            seq=self._next_seq,
-            sender=sender,
-            dest=dest,
-            payload=message,
-            depth=ctx.depth + 1,
-            sender_correct=sender not in self.corrupted,
-            sent_step=self.deliveries,
+            self._next_seq,
+            sender,
+            dest,
+            message,
+            ctx.depth + 1,
+            sender not in self.corrupted,
+            self.deliveries,
         )
         self._next_seq += 1
         self.metrics.record_send(envelope)
@@ -222,12 +276,96 @@ class Simulation:
         self._in_flight[envelope.seq] = envelope
         self._seq_pos[envelope.seq] = len(self._seq_list)
         self._seq_list.append(envelope.seq)
+        on_submit = self._submit_hook
+        if on_submit is not None:
+            on_submit(
+                envelope.seq,
+                EnvelopeView.of(envelope) if self._submit_wants_view else None,
+            )
         scheduler = self.adversary.scheduler
-        scheduler.on_submit(envelope.seq, EnvelopeView.of(envelope))
         if scheduler.content_aware:
             inspect = getattr(scheduler, "inspect_payload", None)
             if inspect is not None:
                 inspect(envelope.seq, message, sender)
+
+    def submit_broadcast(self, sender: int, message: Message) -> None:
+        """Submit ``message`` from ``sender`` to every process (self included).
+
+        Observably identical to ``n`` consecutive :meth:`submit` calls in
+        destination order -- same seqs, envelopes, events, metrics and
+        scheduler callbacks -- with the per-message work (word count, kind,
+        depth, the metrics increments) hoisted out of the destination loop.
+        Broadcast is the protocols' only send primitive, so this is the
+        kernel's hottest submission path.
+        """
+        n = self.n
+        if not 0 <= sender < n:
+            raise ValueError(f"invalid sender {sender}")
+        ctx = self.contexts[sender]
+        depth = ctx.depth + 1
+        sender_correct = sender not in self.corrupted
+        sent_step = self.deliveries
+        metrics = self.metrics
+        words = message.words()
+        kind = type(message).__name__
+        # record_send x n, batched: identical final counter values.
+        metrics.words_total += words * n
+        metrics.messages_sent_total += n
+        if sender_correct:
+            metrics.words_correct += words * n
+            metrics.messages_sent_correct += n
+            metrics.words_by_kind[kind] += words * n
+            metrics.messages_by_kind[kind] += n
+        emit = self.events.emit if self._subscribers else None
+        instance = message.instance
+        in_flight = self._in_flight
+        seq_pos = self._seq_pos
+        seq_list = self._seq_list
+        on_submit = self._submit_hook
+        wants_view = self._submit_wants_view
+        scheduler = self.adversary.scheduler
+        inspect = (
+            getattr(scheduler, "inspect_payload", None)
+            if scheduler.content_aware
+            else None
+        )
+        seq = self._next_seq
+        first_seq = seq
+        pos = len(seq_list)
+        for dest in range(n):
+            # Positional: keyword construction measurably slows this loop.
+            envelope = Envelope(
+                seq, sender, dest, message, depth, sender_correct, sent_step
+            )
+            if emit is not None:
+                emit(
+                    SendEvent(
+                        step=sent_step,
+                        seq=seq,
+                        sender=sender,
+                        dest=dest,
+                        instance=instance,
+                        message_kind=kind,
+                        words=words,
+                        depth=depth,
+                        sender_correct=sender_correct,
+                    )
+                )
+            in_flight[seq] = envelope
+            seq_pos[seq] = pos
+            seq_list.append(seq)
+            if on_submit is not None and wants_view:
+                on_submit(seq, EnvelopeView.of(envelope))
+            if inspect is not None:
+                inspect(seq, message, sender)
+            seq += 1
+            pos += 1
+        self._next_seq = seq
+        if on_submit is not None and not wants_view:
+            # Seq-only bookkeeping: one bulk call per broadcast.  Deferring
+            # it past the destination loop is invisible -- the kernel only
+            # consults the scheduler between deliveries, never mid-submit.
+            scheduler.on_submit_range(first_seq, seq)
 
     def note_decision(self, pid: int) -> None:
         self.decided.add(pid)
@@ -247,6 +385,7 @@ class Simulation:
             self.events.emit(CorruptEvent(step=self.deliveries, pid=pid))
         self._generators.pop(pid, None)
         self._pending.pop(pid, None)
+        self._pending_remaining.pop(pid, None)
         behavior = self.adversary.behavior_factory(pid)
         self._behaviors[pid] = behavior
         ctx = self.contexts[pid]
@@ -259,19 +398,40 @@ class Simulation:
     def _advance(self, pid: int, value: Any, first: bool) -> None:
         """Run ``pid``'s generator until it blocks or returns."""
         generator = self._generators[pid]
+        send = generator.send
         ctx = self.contexts[pid]
+        mailbox = ctx.mailbox
         spins = 0
+        wait: Wait | None = None
         while True:
             spins += 1
             if spins > 100_000:
                 # A condition that is immediately true on every yield would
                 # otherwise livelock the kernel inside a single delivery.
+                # `wait` is the previous iteration's Wait -- the one whose
+                # condition keeps returning non-None.
+                if wait is None:
+                    detail = ""
+                elif wait.instances is None:
+                    detail = (
+                        f" (wait {wait.description!r}, subscribed to all "
+                        "instances)"
+                    )
+                else:
+                    subscribed = ", ".join(
+                        sorted(repr(instance) for instance in wait.instances)
+                    )
+                    detail = (
+                        f" (wait {wait.description!r}, subscribed instances: "
+                        f"{subscribed})"
+                    )
                 raise RuntimeError(
                     f"process {pid} resumed 100000 times without blocking; "
                     "its wait condition is probably unconditionally true"
+                    + detail
                 )
             try:
-                wait = next(generator) if first else generator.send(value)
+                wait = next(generator) if first else send(value)
             except StopIteration as stop:
                 self.returns[pid] = stop.value
                 self.finished.add(pid)
@@ -280,9 +440,19 @@ class Simulation:
                 return
             first = False
             # A condition may already be satisfiable from buffered messages.
-            result = wait.condition(ctx.mailbox)
+            result = wait.condition(mailbox)
             if result is None:
                 self._pending[pid] = wait
+                min_count = wait.min_count
+                if (
+                    min_count > 0
+                    and wait.instances is not None
+                    and not self.eager_wakeups
+                ):
+                    need = min_count - mailbox.total_for(wait.instances)
+                    self._pending_remaining[pid] = need if need > 0 else 0
+                else:
+                    self._pending_remaining[pid] = 0
                 if self._subscribers:
                     self.events.emit(
                         WaitBlockEvent(
@@ -334,12 +504,24 @@ class Simulation:
             if wait is not None:
                 # Instance-keyed wakeup: a condition subscribed to a set of
                 # instances provably cannot change its answer on a delivery
-                # for any other instance, so skip the re-evaluation.
-                if (
-                    self.eager_wakeups
-                    or wait.instances is None
-                    or envelope.payload.instance in wait.instances
-                ):
+                # for any other instance, so skip the re-evaluation.  Below
+                # the wait's min_count floor the condition provably cannot
+                # fire either (see Wait.min_count); count down instead of
+                # evaluating.
+                if self.eager_wakeups or wait.instances is None:
+                    evaluate = True
+                elif envelope.payload.instance in wait.instances:
+                    remaining = self._pending_remaining.get(pid, 0)
+                    if remaining > 1:
+                        self._pending_remaining[pid] = remaining - 1
+                        evaluate = False
+                    else:
+                        if remaining:
+                            self._pending_remaining[pid] = 0
+                        evaluate = True
+                else:
+                    evaluate = False
+                if evaluate:
                     self.metrics.wait_evaluations += 1
                     result = wait.condition(ctx.mailbox)
                     if result is not None:
@@ -405,31 +587,37 @@ class Simulation:
         profile = self.profile
         perf = time.perf_counter
         restore_verify = self._install_verify_timers() if profile else None
+        corruption_reacts = self._corruption_reacts
         try:
-            while self._in_flight and self.deliveries < self.max_deliveries:
-                if self._should_stop():
-                    self._stopped = True
-                    break
-                if profile:
-                    start = perf()
-                    seq = scheduler.choose(self._pool)
-                    chosen = perf()
-                    self.metrics.add_timing("kernel.schedule", chosen - start)
-                    envelope = self._remove_in_flight(seq)
-                    scheduler.on_delivered(seq)
-                    self._deliver(envelope)
-                    self.metrics.add_timing("kernel.step", perf() - chosen)
-                else:
-                    seq = scheduler.choose(self._pool)
-                    envelope = self._remove_in_flight(seq)
-                    scheduler.on_delivered(seq)
-                    self._deliver(envelope)
-                if len(self.corrupted) < self.f:
-                    view = EnvelopeView.of(envelope)
-                    for pid in corruption.on_delivery(view, frozenset(self.corrupted)):
-                        self.corrupt(pid)
+            if self.delivery_mode == "batched" and not profile:
+                self._run_batched(scheduler, corruption)
             else:
-                self._stopped = self._should_stop()
+                while self._in_flight and self.deliveries < self.max_deliveries:
+                    if self._should_stop():
+                        self._stopped = True
+                        break
+                    if profile:
+                        start = perf()
+                        seq = scheduler.choose(self._pool)
+                        chosen = perf()
+                        self.metrics.add_timing("kernel.schedule", chosen - start)
+                        envelope = self._remove_in_flight(seq)
+                        scheduler.on_delivered(seq)
+                        self._deliver(envelope)
+                        self.metrics.add_timing("kernel.step", perf() - chosen)
+                    else:
+                        seq = scheduler.choose(self._pool)
+                        envelope = self._remove_in_flight(seq)
+                        scheduler.on_delivered(seq)
+                        self._deliver(envelope)
+                    if corruption_reacts and len(self.corrupted) < self.f:
+                        view = EnvelopeView.of(envelope)
+                        for pid in corruption.on_delivery(
+                            view, frozenset(self.corrupted)
+                        ):
+                            self.corrupt(pid)
+                else:
+                    self._stopped = self._should_stop()
         finally:
             if restore_verify is not None:
                 restore_verify()
@@ -443,6 +631,187 @@ class Simulation:
         )
         return self
 
+    def _run_batched(self, scheduler: Scheduler, corruption: CorruptionStrategy) -> None:
+        """The batched delivery loop (``delivery_mode="batched"``).
+
+        Per-envelope semantics are identical to the classic loop: the stop
+        condition is checked before every delivery, the corruption
+        strategy observes every delivery, and the pending-wait gates
+        (instance subscription, min_count countdown) fire per envelope --
+        so event streams, metrics and results are byte-identical.  What
+        changes is dispatch: committed batches from
+        :meth:`~repro.sim.adversary.Scheduler.drain` are delivered in one
+        tight loop with ``_remove_in_flight``/``_deliver`` inlined and the
+        kernel's per-delivery attribute traffic hoisted into locals.
+        Schedulers that decline to drain fall back to the classic step, so
+        any adversary runs under either mode.
+        """
+        # Aliases, not copies: mutations from corrupt()/submit() during the
+        # batch stay visible to the loop.
+        in_flight = self._in_flight
+        seq_list = self._seq_list
+        seq_pos = self._seq_pos
+        contexts = self.contexts
+        corrupted = self.corrupted
+        behaviors = self._behaviors
+        generators = self._generators
+        pending = self._pending
+        remaining_map = self._pending_remaining
+        metrics = self.metrics
+        subscribers = self._subscribers
+        emit = self.events.emit
+        eager = self.eager_wakeups
+        advance = self._advance
+        corruption_reacts = self._corruption_reacts
+        max_deliveries = self.max_deliveries
+        budget = self.f
+        drain = scheduler.drain
+        pool = self._pool
+        # Monotone stop conditions (see runner.stop_when_all_decided) only
+        # change value when decided/finished/corrupted grow; skip the call
+        # while that fingerprint is unchanged.  Same stop point, evaluated
+        # once per state change instead of once per delivery.
+        stop_condition = self.stop_condition
+        stop_monotone = bool(getattr(stop_condition, "monotone_stop", False))
+        decided = self.decided
+        finished = self.finished
+        stop_fp = -1
+        stop_val = False
+
+        while in_flight and self.deliveries < max_deliveries:
+            if stop_condition is not None:
+                if stop_monotone:
+                    fp = len(decided) + len(finished) + len(corrupted)
+                    if fp != stop_fp:
+                        stop_fp = fp
+                        stop_val = bool(stop_condition(self))
+                    if stop_val:
+                        self._stopped = True
+                        return
+                elif self._should_stop():
+                    self._stopped = True
+                    return
+            batch = drain(pool, max_deliveries - self.deliveries)
+            if not batch:
+                # Nothing committed (or the scheduler declined): one
+                # classic step, then ask again.
+                seq = scheduler.choose(pool)
+                envelope = self._remove_in_flight(seq)
+                scheduler.on_delivered(seq)
+                self._deliver(envelope)
+                if corruption_reacts and len(corrupted) < budget:
+                    view = EnvelopeView.of(envelope)
+                    for pid in corruption.on_delivery(view, frozenset(corrupted)):
+                        self.corrupt(pid)
+                continue
+            self.drain_batches += 1
+            first_in_batch = True
+            for seq in batch:
+                if first_in_batch:
+                    first_in_batch = False  # the outer loop just checked stop
+                elif stop_condition is not None:
+                    if stop_monotone:
+                        fp = len(decided) + len(finished) + len(corrupted)
+                        if fp != stop_fp:
+                            stop_fp = fp
+                            stop_val = bool(stop_condition(self))
+                        if stop_val:
+                            self._stopped = True
+                            return
+                    elif self._should_stop():
+                        self._stopped = True
+                        return
+                # -- _remove_in_flight, inlined --
+                envelope = in_flight.pop(seq)
+                position = seq_pos.pop(seq)
+                last = seq_list.pop()
+                if position < len(seq_list):
+                    seq_list[position] = last
+                    seq_pos[last] = position
+                # -- _deliver, inlined --
+                metrics.messages_delivered += 1
+                payload = envelope.payload
+                payload_instance = payload.instance
+                if subscribers:
+                    emit(
+                        DeliverEvent(
+                            step=self.deliveries,
+                            seq=envelope.seq,
+                            sender=envelope.sender,
+                            dest=envelope.dest,
+                            instance=payload_instance,
+                            message_kind=type(payload).__name__,
+                            words=payload.words(),
+                            depth=envelope.depth,
+                            sent_step=envelope.sent_step,
+                            summary=summarize_payload(payload),
+                            payload=payload,
+                        )
+                    )
+                self.deliveries += 1
+                self.batched_deliveries += 1
+                pid = envelope.dest
+                ctx = contexts[pid]
+                if ctx.depth < envelope.depth:
+                    ctx.depth = envelope.depth
+                if pid in corrupted:
+                    behaviors[pid].on_deliver(ctx, envelope)
+                else:
+                    mailbox = ctx.mailbox
+                    # -- Mailbox.add, inlined (kernel-owned hot path) --
+                    by_instance = mailbox._by_instance
+                    stream_list = by_instance.get(payload_instance)
+                    if stream_list is None:
+                        by_instance[payload_instance] = stream_list = []
+                    stream_list.append((envelope.sender, payload))
+                    mailbox_counts = mailbox.counts
+                    mailbox_counts[payload_instance] = (
+                        mailbox_counts.get(payload_instance, 0) + 1
+                    )
+                    mailbox.total_delivered += 1
+                    if ctx.background_handlers:
+                        for handler in list(ctx.background_handlers):
+                            handler(mailbox)
+                    if pid in generators:
+                        wait = pending.get(pid)
+                        if wait is not None:
+                            instances = wait.instances
+                            if eager or instances is None:
+                                evaluate = True
+                            elif payload_instance in instances:
+                                remaining = remaining_map.get(pid, 0)
+                                if remaining > 1:
+                                    remaining_map[pid] = remaining - 1
+                                    evaluate = False
+                                else:
+                                    if remaining:
+                                        remaining_map[pid] = 0
+                                    evaluate = True
+                            else:
+                                evaluate = False
+                            if evaluate:
+                                metrics.wait_evaluations += 1
+                                result = wait.condition(mailbox)
+                                if result is not None:
+                                    pending[pid] = None
+                                    if subscribers:
+                                        emit(
+                                            WaitWakeEvent(
+                                                step=self.deliveries,
+                                                pid=pid,
+                                                description=wait.description,
+                                                depth=ctx.depth,
+                                            )
+                                        )
+                                    advance(pid, result, False)
+                            else:
+                                metrics.wait_skips += 1
+                if corruption_reacts and len(corrupted) < budget:
+                    view = EnvelopeView.of(envelope)
+                    for pid in corruption.on_delivery(view, frozenset(corrupted)):
+                        self.corrupt(pid)
+        self._stopped = self._should_stop()
+
     def _install_verify_timers(self) -> Callable[[], None]:
         """Wrap the PKI's verify entry points with wall-clock accumulators.
 
@@ -450,12 +819,22 @@ class Simulation:
         attributes shadowing the bound methods, so the (possibly shared)
         PKI object is restored by the returned callable as soon as the run
         loop exits.  Verification time is nested inside ``kernel.step``.
+
+        Restoration reinstates the *prior* instance-attribute state (a
+        shared PKI may already carry instance-level verify wrappers, e.g.
+        from an outer profiled run); a bare ``del`` would destroy them and
+        raise if restore ran twice.  The returned callable is idempotent.
         """
         pki = self.pki
         metrics = self.metrics
         perf = time.perf_counter
         original_vrf = pki.vrf_verify
         original_sig = pki.signature_verify
+        # Prior *instance* state (distinct from the bound class methods
+        # captured above): what restore() must put back.
+        missing = object()
+        prior_vrf = pki.__dict__.get("vrf_verify", missing)
+        prior_sig = pki.__dict__.get("signature_verify", missing)
 
         def timed_vrf(process_id, alpha, output):
             start = perf()
@@ -475,8 +854,14 @@ class Simulation:
         pki.signature_verify = timed_sig  # type: ignore[method-assign]
 
         def restore() -> None:
-            del pki.vrf_verify
-            del pki.signature_verify
+            if prior_vrf is missing:
+                pki.__dict__.pop("vrf_verify", None)
+            else:
+                pki.vrf_verify = prior_vrf  # type: ignore[method-assign]
+            if prior_sig is missing:
+                pki.__dict__.pop("signature_verify", None)
+            else:
+                pki.signature_verify = prior_sig  # type: ignore[method-assign]
 
         return restore
 

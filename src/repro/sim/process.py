@@ -57,11 +57,27 @@ class Wait:
     pre-subscription behaviour: re-evaluate after every delivery.  Leave it
     ``None`` whenever the condition reads state mutated elsewhere (e.g. by
     a background handler).
+
+    ``min_count`` is the incremental-quorum floor: the declaring protocol
+    promises that until the subscribed instances hold at least
+    ``min_count`` messages *in total*, the condition (a) returns ``None``
+    and (b) performs no kernel-visible side effect (no send, no decide, no
+    annotation).  Under that promise the kernel may skip evaluations below
+    the floor entirely, maintaining a per-process countdown decremented on
+    each subscribed delivery instead of re-running the condition -- the
+    deferred evaluations are pure no-ops by (a)+(b), so skipping them is
+    observationally identical.  Quorum waits ("upon receiving X from q
+    processes") declare the smallest message count that can trigger their
+    *earliest* side effect.  ``0`` (the default) disables the floor;
+    ``min_count`` is only honoured when ``instances`` is given (the floor
+    is defined over the subscribed streams) and is ignored under
+    ``eager_wakeups``.
     """
 
     condition: Callable[[Mailbox], Any]
     description: str = ""
     instances: Iterable[Hashable] | None = None
+    min_count: int = 0
 
     def __post_init__(self) -> None:
         if self.instances is not None and not isinstance(self.instances, frozenset):
@@ -122,8 +138,7 @@ class ProcessContext:
         adversary may reorder it, which only weakens the correct processes
         and therefore preserves the paper's guarantees.
         """
-        for dest in range(self.n):
-            self.send(dest, message)
+        self._simulation.submit_broadcast(self.pid, message)
 
     def add_background_handler(self, handler: Callable[[Mailbox], None]) -> None:
         """Register a side-effect-only handler run on every future delivery.

@@ -43,6 +43,14 @@ def stop_when_all_returned(simulation: Simulation) -> bool:
     return len(simulation.finished | simulation.corrupted) == simulation.n
 
 
+# Both conditions are monotone in state that only ever grows (decided /
+# finished / corrupted), so their value can only change when one of those
+# sets does.  The batched kernel loop uses this to skip re-evaluating an
+# unchanged condition between deliveries (same stop point, fewer calls).
+stop_when_all_decided.monotone_stop = True  # type: ignore[attr-defined]
+stop_when_all_returned.monotone_stop = True  # type: ignore[attr-defined]
+
+
 @dataclass(frozen=True)
 class RunResult:
     """Snapshot of one finished run."""
@@ -171,6 +179,7 @@ def run_protocol(
     verify_cache: bool = True,
     eager_wakeups: bool = False,
     profile: bool = False,
+    delivery_mode: str = "classic",
     subscribers: list[Callable[[Any], None]] | None = None,
     monitors: Any = None,
     telemetry: Any = None,
@@ -184,7 +193,9 @@ def run_protocol(
     memoized verification (only consulted when ``pki`` is created here);
     ``eager_wakeups=True`` disables instance-keyed wait wakeups.  Both
     exist for equivalence testing and benchmarking against the uncached
-    kernel.
+    kernel.  ``delivery_mode="batched"`` turns on the batched kernel
+    loop (observably identical; schedulers that cannot commit batches
+    fall back to the classic step -- see ``Simulation``).
 
     ``profile=True`` turns on the wall-clock kernel/span timers
     (``metrics.phase_timings``); ``subscribers`` attaches kernel
@@ -234,6 +245,7 @@ def run_protocol(
         stop_condition=stop_condition,
         eager_wakeups=eager_wakeups,
         profile=profile,
+        delivery_mode=delivery_mode,
     )
     for subscriber in subscribers or ():
         simulation.events.subscribe(subscriber)

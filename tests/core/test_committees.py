@@ -139,3 +139,144 @@ class TestProcessSideSampling:
             assert sampled == (pid in members)
             if sampled:
                 assert committee_val(pki, "proc", "init", pid, proof, params)
+
+
+class TestArrayCensus:
+    """The array-backed census is a bit-exact drop-in for the scalar view."""
+
+    def _fresh(self, n=40, seed=61):
+        from repro.core.committees import ArrayCensus
+
+        pki = PKI.create(n, rng=random.Random(seed))
+        return pki, ArrayCensus(pki)
+
+    def test_members_match_sample_committee(self):
+        pki, census = self._fresh()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        for instance in ("x", ("ba", 2)):
+            for role in ("init", "ok", ("echo", 1)):
+                assert census.members(instance, role, params) == sample_committee(
+                    pki, instance, role, params
+                )
+
+    def test_census_matches_committee_census(self):
+        from repro.core.committees import committee_census
+
+        pki, census = self._fresh()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        corrupted = {0, 1, 2}
+        for role in ("init", "ok"):
+            assert census.census("x", role, params, corrupted) == committee_census(
+                pki, "x", role, params, corrupted
+            )
+
+    def test_is_member_per_pid(self):
+        pki, census = self._fresh()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        members = sample_committee(pki, "m", "init", params)
+        for pid in range(40):
+            assert census.is_member("m", "init", params, pid) == (pid in members)
+
+    def test_full_participation_threshold_overflow_branch(self):
+        """lam = n makes the threshold exceed the top-64-bit compare range;
+        the ones-mask branch must fire and report everyone a member."""
+        pki, census = self._fresh()
+        params = ProtocolParams(n=40, f=3, lam=40.0, d=0.05)
+        assert census.members("x", "init", params) == set(range(40))
+
+    def test_queries_do_not_perturb_verification_counters(self):
+        """Census views use VRF *proofs*, never verifications: attaching
+        one to a live run's PKI must not shift the gated counters."""
+        pki, census = self._fresh()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        before = pki.verification_counters()
+        census.members("x", "init", params)
+        census.census("x", "ok", params, {0})
+        assert pki.verification_counters() == before
+
+    def test_mask_cached_across_queries(self):
+        pki, census = self._fresh()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        first = census.member_mask("x", "init", params)
+        assert census.member_mask("x", "init", params) is first
+
+
+class TestMembershipCheckerCounterIdentity:
+    """The identity memo replays verdicts with *exactly* the counters the
+    direct path (all answered from the verify cache) would produce."""
+
+    def _pair(self, n=40, seed=62):
+        return (
+            PKI.create(n, rng=random.Random(seed)),
+            PKI.create(n, rng=random.Random(seed)),
+        )
+
+    def test_repeat_checks_match_committee_val_counters(self):
+        from repro.core.committees import membership_checker
+
+        direct_pki, memo_pki = self._pair()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        member = next(iter(sample_committee(direct_pki, "x", "init", params)))
+        proof = member_proof(memo_pki, member, "x", "init")
+        direct_proof = member_proof(direct_pki, member, "x", "init")
+        check = membership_checker(memo_pki, "x", "init", params)
+        # Simulate n receivers each validating the same broadcast proof.
+        for _ in range(5):
+            direct_verdict = committee_val(
+                direct_pki, "x", "init", member, direct_proof, params
+            )
+            memo_verdict = check(member, proof)
+            assert memo_verdict is direct_verdict is True
+            assert memo_pki.verification_counters() == (
+                direct_pki.verification_counters()
+            )
+
+    def test_negative_verdict_replayed_with_identical_counters(self):
+        from repro.core.committees import membership_checker
+
+        direct_pki, memo_pki = self._pair()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        non_member = next(
+            pid for pid in range(40)
+            if pid not in sample_committee(direct_pki, "x", "init", params)
+        )
+        proof = member_proof(memo_pki, non_member, "x", "init")
+        direct_proof = member_proof(direct_pki, non_member, "x", "init")
+        check = membership_checker(memo_pki, "x", "init", params)
+        for _ in range(3):
+            assert not committee_val(
+                direct_pki, "x", "init", non_member, direct_proof, params
+            )
+            assert not check(non_member, proof)
+            assert memo_pki.verification_counters() == (
+                direct_pki.verification_counters()
+            )
+
+    def test_different_proof_object_takes_full_path(self):
+        """A Byzantine re-proof (structurally equal, different object) must
+        not replay the memoized verdict blindly."""
+        from repro.core.committees import membership_checker
+
+        _, pki = self._pair()
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        member = next(iter(sample_committee(pki, "x", "init", params)))
+        proof = member_proof(pki, member, "x", "init")
+        clone = VRFOutput(value=proof.value, proof=proof.proof)
+        check = membership_checker(pki, "x", "init", params)
+        assert check(member, proof)
+        assert check(member, clone)  # same bits, new object: re-verified
+        assert check(member, VRFOutput(value=proof.value, proof=b"forged")) is False
+
+    def test_uncached_mode_never_memoizes(self):
+        from repro.core.committees import membership_checker
+
+        pki = PKI.create(40, rng=random.Random(63), verify_cache=False)
+        params = ProtocolParams(n=40, f=3, lam=12.0, d=0.05)
+        member = next(iter(sample_committee(pki, "x", "init", params)))
+        proof = member_proof(pki, member, "x", "init")
+        check = membership_checker(pki, "x", "init", params)
+        assert check(member, proof)
+        assert check(member, proof)
+        assert pki.shared_validation_memo == {}
+        # Two full verifications, zero cache hits.
+        assert pki.verification_counters()[:2] == (2, 0)

@@ -116,3 +116,83 @@ class TestValidateCoinValue:
         )
         cv = make_value(pki, outsider, "inst", membership=membership)
         assert not validate_coin_value(pki, cv, "inst", params, "first")
+
+
+class TestCoinValueCheckerCounterIdentity:
+    """coin_value_checker's identity memo replays verdicts with exactly the
+    counters the direct path (answered from the verify cache) would."""
+
+    def _pair(self, seed=71):
+        return (
+            PKI.create(20, rng=random.Random(seed)),
+            PKI.create(20, rng=random.Random(seed)),
+        )
+
+    def test_repeat_checks_match_validate_coin_value(self):
+        from repro.core.messages import coin_value_checker
+
+        direct_pki, memo_pki = self._pair()
+        params = ProtocolParams(n=20, f=2, lam=14.0, d=0.05)
+        direct_value = make_value(direct_pki, 4, "c")
+        memo_value = make_value(memo_pki, 4, "c")
+        check = coin_value_checker(memo_pki, "c", params, None)
+        for _ in range(5):
+            direct_verdict = validate_coin_value(
+                direct_pki, direct_value, "c", params, None
+            )
+            memo_verdict = check(memo_value)
+            assert memo_verdict is direct_verdict is True
+            assert memo_pki.verification_counters() == (
+                direct_pki.verification_counters()
+            )
+
+    def test_committee_variant_counts_membership_verification(self):
+        from repro.core.committees import membership_checker, sample_committee
+        from repro.core.messages import coin_value_checker
+
+        direct_pki, memo_pki = self._pair()
+        params = ProtocolParams(n=20, f=2, lam=14.0, d=0.05)
+        member = next(iter(sample_committee(direct_pki, "c", "first", params)))
+
+        def proof_for(pki):
+            return pki.vrf_scheme.prove(
+                pki.vrf_private(member), committee_seed("c", "first")
+            )
+
+        direct_value = make_value(direct_pki, member, "c", proof_for(direct_pki))
+        memo_value = make_value(memo_pki, member, "c", proof_for(memo_pki))
+        check = coin_value_checker(memo_pki, "c", params, "first")
+        for _ in range(4):
+            assert validate_coin_value(
+                direct_pki, direct_value, "c", params, "first"
+            )
+            assert check(memo_value)
+            assert memo_pki.verification_counters() == (
+                direct_pki.verification_counters()
+            )
+
+    def test_different_object_same_origin_takes_full_path(self):
+        """A Byzantine per-receiver variant (same origin, different object)
+        is re-validated, not replayed."""
+        from repro.core.messages import coin_value_checker
+
+        _, pki = self._pair()
+        params = ProtocolParams(n=20, f=2, lam=14.0, d=0.05)
+        genuine = make_value(pki, 4, "c")
+        check = coin_value_checker(pki, "c", params, None)
+        assert check(genuine)
+        forged = CoinValue(
+            value=genuine.value + 1, origin=4, vrf=genuine.vrf
+        )
+        assert check(forged) is False  # value != vrf.value
+        assert check(genuine)  # and the genuine verdict still replays
+
+    def test_uncached_mode_identical_verdicts_no_memo(self):
+        from repro.core.messages import coin_value_checker
+
+        pki = PKI.create(20, rng=random.Random(72), verify_cache=False)
+        params = ProtocolParams(n=20, f=2, lam=14.0, d=0.05)
+        value = make_value(pki, 3, "c")
+        check = coin_value_checker(pki, "c", params, None)
+        assert check(value) and check(value)
+        assert pki.shared_validation_memo == {}

@@ -1,0 +1,150 @@
+"""Batched delivery is pure: delivery_mode='batched' == 'classic'.
+
+The batched kernel commits scheduler-chosen delivery batches and skips
+gated wait re-evaluations, but every committed batch is exactly the seq
+sequence the classic one-choose-per-delivery loop would have produced
+(the ``Scheduler.drain`` contract), and every skipped evaluation is a
+provable no-op (the ``Wait``/``min_count`` contracts).  This matrix is
+the empirical certificate: for each (protocol, scheduler, seed) cell the
+two modes must agree on *every* observable -- RunResult fields, the full
+deterministic metrics dict, and the kernel event stream -- including
+under schedulers that cannot drain (the batched kernel then falls back
+to the classic step) and with the observability stack attached.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.params import ProtocolParams
+from repro.core.shared_coin import shared_coin
+from repro.crypto.pki import PKI
+from repro.experiments.protocols import make_runner
+from repro.sim.adversary import (
+    Adversary,
+    DelayBoundedScheduler,
+    StaticCorruption,
+)
+from repro.sim.monitors import MonitorSuite, default_monitors
+from repro.sim.runner import RunResult, run_protocol, stop_when_all_decided
+from repro.sim.telemetry import TelemetryProbe
+
+from tests.integration.test_determinism_matrix import SCHEDULER_FACTORIES
+
+N, F = 10, 2
+
+# The zoo from the determinism matrix (includes drain-declining and
+# content-aware schedulers, which exercise the classic fallback) plus the
+# bounded-delay scheduler, the canonical randomised *draining* schedule.
+ALL_SCHEDULERS = dict(SCHEDULER_FACTORIES)
+ALL_SCHEDULERS["delay"] = lambda seed: DelayBoundedScheduler(
+    rng=random.Random(seed)
+)
+
+
+def observable(result: RunResult) -> tuple:
+    """Every kernel-determined field plus the full gated metrics dict."""
+    return (
+        result.n,
+        result.f,
+        result.seed,
+        result.corrupted,
+        result.returns,
+        result.decisions,
+        result.decision_depths,
+        result.notes,
+        result.deliveries,
+        result.deadlocked,
+        result.exhausted,
+        result.stopped_by_condition,
+        result.words,
+        result.metrics.to_dict(include_timings=False),
+    )
+
+
+def run_shared_coin(scheduler_name: str, seed: int, mode: str) -> RunResult:
+    pki = PKI.create(N, rng=random.Random(99))
+    adversary = Adversary(
+        scheduler=ALL_SCHEDULERS[scheduler_name](seed),
+        corruption=StaticCorruption({0, 1}),
+    )
+    return run_protocol(
+        N, F, lambda ctx: shared_coin(ctx, 0),
+        adversary=adversary, pki=pki, params=ProtocolParams(n=N, f=F),
+        seed=seed, delivery_mode=mode,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_SCHEDULERS))
+@pytest.mark.parametrize("seed", [3, 11])
+class TestSharedCoinMatrix:
+    def test_batched_equals_classic(self, name, seed):
+        classic = run_shared_coin(name, seed, "classic")
+        batched = run_shared_coin(name, seed, "batched")
+        assert observable(batched) == observable(classic)
+
+
+def run_ba(protocol: str, scheduler_name: str, seed: int, mode: str,
+           n: int = 40, subscribers=None, telemetry=None, monitors=None):
+    factory, params, f = make_runner(protocol, n, seed=seed)
+    adversary = Adversary(
+        scheduler=ALL_SCHEDULERS[scheduler_name](seed),
+        corruption=StaticCorruption(set(range(f))),
+    )
+    return run_protocol(
+        n, f, factory, adversary=adversary, params=params,
+        stop_condition=stop_when_all_decided, seed=seed,
+        delivery_mode=mode, subscribers=subscribers,
+        telemetry=telemetry, monitors=monitors,
+    )
+
+
+@pytest.mark.parametrize("protocol", ["whp_ba", "mmr+alg1"])
+@pytest.mark.parametrize("scheduler", ["fifo", "delay", "random"])
+class TestAgreementMatrix:
+    def test_batched_equals_classic(self, protocol, scheduler):
+        classic = run_ba(protocol, scheduler, seed=7, mode="classic")
+        batched = run_ba(protocol, scheduler, seed=7, mode="batched")
+        assert observable(batched) == observable(classic)
+
+
+class TestEventStreamIdentity:
+    @pytest.mark.parametrize("scheduler", ["fifo", "delay"])
+    def test_full_event_stream_identical(self, scheduler):
+        """Not just the aggregates: the *entire* event sequence (sends,
+        deliveries, wait blocks/wakes, decides) matches event for event,
+        so flight recordings and traces are mode-independent."""
+        classic_events: list = []
+        batched_events: list = []
+        run_ba("whp_ba", scheduler, seed=3, mode="classic",
+               subscribers=[classic_events.append])
+        run_ba("whp_ba", scheduler, seed=3, mode="batched",
+               subscribers=[batched_events.append])
+        assert classic_events, "no events recorded"
+        assert batched_events == classic_events
+
+
+class TestObservabilityStack:
+    def test_monitors_and_telemetry_under_batched_mode(self):
+        """The online conformance monitors and the telemetry probe see the
+        identical event stream, so they pass and snapshot identically."""
+
+        def instrumented(mode):
+            probe = TelemetryProbe()
+            suite = MonitorSuite(default_monitors())
+            result = run_ba("whp_ba", "fifo", seed=5, mode=mode,
+                            telemetry=probe, monitors=suite)
+            safety = [
+                violation
+                for violation in suite.violations
+                if violation.severity == "safety"
+            ]
+            return result, probe.snapshot(), safety
+
+        classic_result, classic_snapshot, classic_safety = instrumented("classic")
+        batched_result, batched_snapshot, batched_safety = instrumented("batched")
+        assert batched_safety == classic_safety == []
+        assert observable(batched_result) == observable(classic_result)
+        assert batched_snapshot == classic_snapshot

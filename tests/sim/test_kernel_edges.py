@@ -99,6 +99,112 @@ class TestStopConditionTiming:
         assert not sim.deadlocked
 
 
+class TestNeverRunSimulation:
+    def test_exhausted_and_deadlocked_answer_before_run(self):
+        """A constructed-but-never-run simulation reports its state instead
+        of raising AttributeError (``exhausted`` used to be set only by
+        ``run``)."""
+        sim = make_sim()
+        assert sim.exhausted is False
+        assert sim.deadlocked is False
+        assert sim.stopped_by_condition is False
+
+
+class TestSubmitValidation:
+    def test_invalid_dest_rejected(self):
+        sim = make_sim()
+        sim.set_protocol_all(lambda ctx: iter(()))
+        with pytest.raises(ValueError, match="invalid destination"):
+            sim.submit(0, 3, Tick("t"))
+
+    def test_negative_sender_rejected(self):
+        """A negative sender used to silently index contexts[-1] and stamp
+        the wrong depth/sender_correct; it must fail like a bad dest."""
+        sim = make_sim()
+        sim.set_protocol_all(lambda ctx: iter(()))
+        with pytest.raises(ValueError, match="invalid sender"):
+            sim.submit(-1, 0, Tick("t"))
+
+    def test_out_of_range_sender_rejected(self):
+        sim = make_sim()
+        sim.set_protocol_all(lambda ctx: iter(()))
+        with pytest.raises(ValueError, match="invalid sender"):
+            sim.submit(3, 0, Tick("t"))
+
+
+class TestLivelockDiagnostics:
+    def test_error_names_wait_and_subscriptions(self):
+        """The livelock guard's RuntimeError carries the wait description
+        and subscribed instances, so a spinning protocol is debuggable
+        from the error alone."""
+
+        def spinner(ctx):
+            while True:
+                yield Wait(
+                    lambda mailbox: True,
+                    description="spinning-wait",
+                    instances={"round-3"},
+                )
+
+        sim = make_sim()
+        sim.set_protocol_all(spinner)
+        with pytest.raises(RuntimeError) as excinfo:
+            sim.run()
+        text = str(excinfo.value)
+        assert "'spinning-wait'" in text
+        assert "'round-3'" in text
+
+
+class TestVerifyTimerRestore:
+    def test_restore_reinstates_prior_wrapper(self):
+        """A shared PKI may already carry instance-level verify wrappers
+        (e.g. from an outer profiled run); restore() must put them back,
+        not delete them."""
+        sim = make_sim()
+        pki = sim.pki
+
+        def outer_wrapper(process_id, alpha, output):  # pragma: no cover
+            raise AssertionError("never called in this test")
+
+        pki.vrf_verify = outer_wrapper
+        restore = sim._install_verify_timers()
+        assert pki.vrf_verify is not outer_wrapper  # timers installed
+        restore()
+        assert pki.__dict__["vrf_verify"] is outer_wrapper
+        del pki.vrf_verify  # leave the module-scoped fixture clean
+
+    def test_restore_clears_when_no_prior_wrapper(self):
+        sim = make_sim()
+        pki = sim.pki
+        assert "vrf_verify" not in pki.__dict__
+        restore = sim._install_verify_timers()
+        assert "vrf_verify" in pki.__dict__
+        restore()
+        assert "vrf_verify" not in pki.__dict__
+        assert "signature_verify" not in pki.__dict__
+
+    def test_restore_is_idempotent(self):
+        sim = make_sim()
+        restore = sim._install_verify_timers()
+        restore()
+        restore()  # a bare `del` here would raise AttributeError
+        assert "vrf_verify" not in sim.pki.__dict__
+
+    def test_profiled_run_leaves_shared_pki_clean(self):
+        """End to end: profile=True wraps, the run ends, the PKI is back
+        to its class-level methods."""
+
+        def quick(ctx):
+            ctx.broadcast(Tick("t"))
+            return (yield Wait(lambda mailbox: len(mailbox.stream("t")) >= 3 or None))
+
+        sim = make_sim(profile=True)
+        sim.set_protocol_all(quick)
+        sim.run()
+        assert "vrf_verify" not in sim.pki.__dict__
+        assert "signature_verify" not in sim.pki.__dict__
+
+
 class TestCorruptionEdges:
     def test_corrupting_finished_process_is_allowed(self):
         """A process whose generator already returned can still be
