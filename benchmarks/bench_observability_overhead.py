@@ -26,6 +26,11 @@ a full BA run:
   a telemetry-attached run is asserted byte-identical to the bare run,
   its per-event folding cost is asserted < 3%, and two probes fed the
   same run must produce identical snapshots (sampling is deterministic).
+* **Coverage dispatch cost**: the same three assertions again for a
+  :class:`~repro.sim.coverage.CoverageProbe` (DESIGN.md section 11):
+  byte-identical results with the probe attached, replayed fold cost
+  inside the < 3% envelope (absolute ns/event budget in the smoke), and
+  a replayed probe's snapshot identical to the attached probe's.
 * **Recording cost** (reported, not asserted): wall-clock of the same
   run with a recorder attached, i.e. what `repro record` actually pays.
 
@@ -58,6 +63,7 @@ import timeit
 
 from repro.experiments.protocols import make_runner
 from repro.experiments.store import to_jsonable
+from repro.sim.coverage import CoverageProbe
 from repro.sim.flightrecorder import FlightRecorder
 from repro.sim.monitors import MonitorSuite
 from repro.sim.runner import run_protocol, stop_when_all_decided
@@ -73,15 +79,21 @@ SMOKE_N = 24
 # by the full n=FULL_N benchmark, where the kernel's per-event cost
 # makes the margin robust).
 TELEMETRY_NS_PER_EVENT_BUDGET = 1500.0
+# Same policy for the coverage probe: its fold does race-bucket and
+# signature-count dict work per delivery (~500-800ns/event warm), so
+# the budget sits a bit higher while still catching real regressions.
+COVERAGE_NS_PER_EVENT_BUDGET = 2500.0
 
 
-def _ba_run(n: int, seed: int, subscribers=None, monitors=None, telemetry=None):
+def _ba_run(n: int, seed: int, subscribers=None, monitors=None,
+            telemetry=None, coverage=None):
     factory, params, f = make_runner("whp_ba", n, seed=seed)
     start = time.perf_counter()
     result = run_protocol(
         n, f, factory, corrupt=set(range(f)), params=params,
         stop_condition=stop_when_all_decided, seed=seed,
         subscribers=subscribers, monitors=monitors, telemetry=telemetry,
+        coverage=coverage,
     )
     return time.perf_counter() - start, result
 
@@ -148,6 +160,14 @@ def run_comparison(
         "attaching a telemetry probe changed the run's observable result"
     )
 
+    # ... and neither must coverage-profiling it: the coverage probe
+    # folds the same stream into schedule signatures, same contract.
+    coverage_probe = CoverageProbe()
+    covered_elapsed, covered = _ba_run(n, ROOT_SEED, coverage=coverage_probe)
+    assert to_jsonable(bare) == to_jsonable(covered), (
+        "attaching a coverage probe changed the run's observable result"
+    )
+
     # A second bare run: the min is the denominator for every ratio
     # below (noise only ever adds wall-clock, so the min of two runs
     # taken ~a minute apart is the honest kernel cost even when the
@@ -184,6 +204,18 @@ def run_comparison(
         "telemetry snapshot is not a deterministic function of the event log"
     )
 
+    # Coverage dispatch cost: same methodology and determinism check.
+    coverage_cost = _replay_seconds(recorder.events, CoverageProbe)
+    coverage_bound = coverage_cost / bare_elapsed if bare_elapsed else 0.0
+    coverage_snapshot = coverage_probe.snapshot()
+    replay_coverage = CoverageProbe()
+    replay_on_event = replay_coverage.on_event
+    for event in recorder.events:
+        replay_on_event(event)
+    assert replay_coverage.snapshot() == coverage_snapshot, (
+        "coverage snapshot is not a deterministic function of the event log"
+    )
+
     # Emission-site executions in this exact run, counted from the
     # recording: one guard per emitted event, plus the per-send and
     # per-delivery guards that fire even when their event is not the one
@@ -196,16 +228,25 @@ def run_comparison(
     telemetry_ns = (
         telemetry_cost / guard_executions * 1e9 if guard_executions else 0.0
     )
+    coverage_ns = (
+        coverage_cost / guard_executions * 1e9 if guard_executions else 0.0
+    )
 
     recording_ratio = recorded_elapsed / bare_elapsed if bare_elapsed else 1.0
     monitored_ratio = monitored_elapsed / bare_elapsed if bare_elapsed else 1.0
     telemetered_ratio = (
         telemetered_elapsed / bare_elapsed if bare_elapsed else 1.0
     )
+    covered_ratio = covered_elapsed / bare_elapsed if bare_elapsed else 1.0
     telemetry_limit_note = (
         f"limit {max_overhead:.0%}" if assert_telemetry_ratio
         else f"informational at n={n}; "
         f"budget {TELEMETRY_NS_PER_EVENT_BUDGET:.0f}ns/event"
+    )
+    coverage_limit_note = (
+        f"limit {max_overhead:.0%}" if assert_telemetry_ratio
+        else f"informational at n={n}; "
+        f"budget {COVERAGE_NS_PER_EVENT_BUDGET:.0f}ns/event"
     )
     report = (
         f"observability overhead: whp_ba n={n} seed={ROOT_SEED} "
@@ -219,6 +260,9 @@ def run_comparison(
         f"{len(suite.violations)} violations)\n"
         f"  telemetered run : {telemetered_elapsed:8.3f}s "
         f"({telemetered_ratio:.2f}x, snapshot deterministic)\n"
+        f"  covered run     : {covered_elapsed:8.3f}s "
+        f"({covered_ratio:.2f}x, "
+        f"{coverage_snapshot['total_signatures']} signatures)\n"
         f"  guard executions: {guard_executions} x {per_guard * 1e9:.1f}ns"
         f" = {guard_executions * per_guard * 1e3:.2f}ms\n"
         f"  no-subscriber overhead bound: {bound:.4%} (limit {max_overhead:.0%})\n"
@@ -226,7 +270,10 @@ def run_comparison(
         f"({monitor_cost * 1e3:.2f}ms replayed, limit {max_overhead:.0%})\n"
         f"  telemetry dispatch bound    : {telemetry_bound:.4%} "
         f"({telemetry_cost * 1e3:.2f}ms replayed, {telemetry_ns:.0f}ns/event; "
-        f"{telemetry_limit_note})"
+        f"{telemetry_limit_note})\n"
+        f"  coverage dispatch bound     : {coverage_bound:.4%} "
+        f"({coverage_cost * 1e3:.2f}ms replayed, {coverage_ns:.0f}ns/event; "
+        f"{coverage_limit_note})"
     )
     assert bound < max_overhead, (
         f"no-subscriber bus overhead bound {bound:.4%} exceeds "
@@ -241,13 +288,21 @@ def run_comparison(
             f"telemetry dispatch bound {telemetry_bound:.4%} exceeds "
             f"{max_overhead:.0%}\n" + report
         )
+        assert coverage_bound < max_overhead, (
+            f"coverage dispatch bound {coverage_bound:.4%} exceeds "
+            f"{max_overhead:.0%}\n" + report
+        )
     else:
         # Small-n runs have an unrepresentatively cheap kernel denominator
-        # (see module docstring), so hold the probe to an absolute
+        # (see module docstring), so hold the probes to an absolute
         # per-event budget instead of the ratio.
         assert telemetry_ns < TELEMETRY_NS_PER_EVENT_BUDGET, (
             f"telemetry fold cost {telemetry_ns:.0f}ns/event exceeds the "
             f"{TELEMETRY_NS_PER_EVENT_BUDGET:.0f}ns/event budget\n" + report
+        )
+        assert coverage_ns < COVERAGE_NS_PER_EVENT_BUDGET, (
+            f"coverage fold cost {coverage_ns:.0f}ns/event exceeds the "
+            f"{COVERAGE_NS_PER_EVENT_BUDGET:.0f}ns/event budget\n" + report
         )
     # Deterministic counters top-level (gateable by `repro trends --gate`);
     # wall-clock readings under "wallclock" (excluded from gating).
@@ -257,10 +312,12 @@ def run_comparison(
         "deliveries": bare.deliveries,
         "events": len(recorder.events),
         "words": bare.words,
+        "coverage_signatures": coverage_snapshot["total_signatures"],
         "wallclock": {
             "no_subscriber_bound": bound,
             "monitor_dispatch_bound": monitor_bound,
             "telemetry_dispatch_bound": telemetry_bound,
+            "coverage_dispatch_bound": coverage_bound,
             "bare_seconds": bare_elapsed,
         },
     }

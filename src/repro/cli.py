@@ -22,6 +22,12 @@ the conformance pair (see DESIGN.md section 8)::
     python -m repro trends                   # cross-run drift tables
     python -m repro trends --last 5          # wider window + sparklines
 
+the schedule-coverage atlas (see DESIGN.md section 11)::
+
+    python -m repro coverage                 # atlas growth + rarest hits
+    python -m repro coverage flight.jsonl    # one recording's coverage
+    python -m repro coverage --gate          # exit 1 on coverage stagnation
+
 and the telemetry pane (see DESIGN.md section 9)::
 
     python -m repro dashboard flight.jsonl --out dashboard.html
@@ -206,16 +212,70 @@ def _run_export(args) -> str:
 
 def _run_check(args) -> tuple[str, int]:
     from repro.experiments import conformance
+    from repro.experiments.coverage_atlas import CoverageAtlas
 
     protocols = tuple(args.protocols.split(",")) if args.protocols else None
+    try:
+        atlas = CoverageAtlas(".")
+        atlas.load()  # fail loudly before the sweep, not after it
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro check: {exc}")
     payload = conformance.run_check(
         protocols=protocols or conformance.DEFAULT_PROTOCOLS,
         n=args.n or 24,
         seeds=range(args.seeds or 6),
+        atlas=atlas,
     )
     path = conformance.write_conformance(payload)
     text = conformance.format_check(payload) + f"\n[saved to {path}]"
     return text, 0 if payload["ok"] else 1
+
+
+def _run_coverage(args) -> tuple[str, int]:
+    from repro.experiments import conformance
+    from repro.experiments.coverage_atlas import (
+        CoverageAtlas,
+        format_atlas,
+        format_coverage_run,
+    )
+
+    atlas = CoverageAtlas(".")
+    if args.gate:
+        from repro.experiments.trends import TrendStore
+
+        try:
+            newest = TrendStore(".").latest("conformance")
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro coverage: {exc}")
+        if newest is None:
+            raise SystemExit(
+                "repro coverage: no conformance record in the trend store; "
+                "run `python -m repro check` first"
+            )
+        verdict = conformance.coverage_gate(newest["payload"])
+        text = conformance.format_coverage_gate(verdict)
+        return text, 0 if verdict["ok"] else 1
+    if args.path:
+        from repro.sim.coverage import coverage_from_events
+        from repro.sim.flightrecorder import load_recording
+
+        try:
+            recording = load_recording(args.path)
+        except FileNotFoundError:
+            raise SystemExit(f"repro coverage: no such recording: {args.path}")
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro coverage: {exc}")
+        snapshot = coverage_from_events(recording.events)
+        try:
+            return format_coverage_run(
+                snapshot, atlas=atlas, source=str(args.path)
+            ), 0
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro coverage: {exc}")
+    try:
+        return format_atlas(atlas, rarest=args.rarest or 10), 0
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro coverage: {exc}")
 
 
 def _run_trends(args) -> tuple[str, int]:
@@ -259,7 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             *COMMANDS, "record", "report", "export", "check", "trends",
-            "dashboard", "all", "list",
+            "coverage", "dashboard", "all", "list",
         ],
     )
     parser.add_argument(
@@ -300,6 +360,10 @@ def main(argv: list[str] | None = None) -> int:
         "--last", type=int, default=None,
         help="trends: window size for sparklines and drift (default 2)",
     )
+    parser.add_argument(
+        "--rarest", type=int, default=None,
+        help="coverage: how many rarest-hit signatures to list (default 10)",
+    )
     parser.add_argument("--quick", action="store_true", help="smoke-scale parameters")
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -316,6 +380,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  export  convert a recording to Chrome/Perfetto trace JSON")
         print("  check   monitored conformance sweep (paper-property checks)")
         print("  trends  cross-run drift tables (--gate exits 1 on drift)")
+        print("  coverage  schedule-coverage atlas views (--gate: stagnation)")
         print("  dashboard  single-pane HTML report (telemetry+trends+conformance)")
         return 0
 
@@ -337,6 +402,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "trends":
         text, code = _run_trends(args)
+        print(text)
+        return code
+
+    if args.command == "coverage":
+        text, code = _run_coverage(args)
         print(text)
         return code
 

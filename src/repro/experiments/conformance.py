@@ -22,6 +22,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.experiments.protocols import make_runner
 from repro.experiments.trends import record_bench
+from repro.sim.coverage import CoverageProbe, signature_set
 from repro.sim.monitors import MonitorSuite
 from repro.sim.runner import run_protocol, stop_when_all_decided
 
@@ -29,7 +30,9 @@ __all__ = [
     "CONFORMANCE_SCHEMA",
     "CONFORMANCE_SCHEMA_VERSION",
     "DEFAULT_PROTOCOLS",
+    "coverage_gate",
     "format_check",
+    "format_coverage_gate",
     "run_check",
     "write_conformance",
 ]
@@ -47,8 +50,21 @@ def run_check(
     n: int = 24,
     seeds: Iterable[int] = range(6),
     max_deliveries: int | None = None,
+    coverage: bool = True,
+    atlas: Any = None,
 ) -> dict[str, Any]:
-    """Run the monitored sweep; returns the JSON-ready conformance payload."""
+    """Run the monitored sweep; returns the JSON-ready conformance payload.
+
+    With ``coverage`` on (the default) every run also carries a
+    :class:`~repro.sim.coverage.CoverageProbe`, each row reports how
+    many schedule signatures that seed covered and how many were *new*
+    -- unseen by any earlier run of the sweep, and, when an ``atlas``
+    (:class:`~repro.experiments.coverage_atlas.CoverageAtlas`) is
+    passed, unseen by any previously recorded run at all -- and the
+    payload gains a sweep-level ``coverage`` summary.  Each (protocol,
+    seed) run appends one record to the atlas, so conformance sweeps
+    are what grow ``BENCH_coverage_atlas.jsonl``.
+    """
     seeds = list(seeds)
     payload: dict[str, Any] = {
         "schema": CONFORMANCE_SCHEMA,
@@ -58,35 +74,86 @@ def run_check(
         "protocols": {},
     }
     total_safety = 0
+    # Novelty within the sweep is judged against the atlas' accumulated
+    # knowledge (when given) plus everything earlier in this sweep --
+    # so a sweep over already-explored seeds honestly reports 0% new.
+    seen: set[str] = atlas.known_signatures() if atlas is not None else set()
+    baseline = len(seen)
+    sweep_signatures: set[str] = set()
+    rows_with_new = total_rows = 0
     for name in protocols:
         suite = MonitorSuite()
         rows = []
+        protocol_signatures: set[str] = set()
+        protocol_rows_with_new = 0
         for seed in seeds:
             factory, params, f = make_runner(name, n, seed=seed)
             kwargs: dict[str, Any] = {}
             if max_deliveries is not None:
                 kwargs["max_deliveries"] = max_deliveries
+            probe = CoverageProbe() if coverage else None
             result = run_protocol(
                 n, f, factory, corrupt=set(range(f)), params=params,
                 stop_condition=stop_when_all_decided, seed=seed,
-                monitors=suite, **kwargs,
+                monitors=suite, coverage=probe, **kwargs,
             )
-            rows.append(
-                {
-                    "seed": seed,
-                    "live": result.live,
-                    "all_correct_decided": result.all_correct_decided,
-                    "words": result.words,
-                    "duration": result.duration,
-                    "deliveries": result.deliveries,
-                }
-            )
+            row = {
+                "seed": seed,
+                "live": result.live,
+                "all_correct_decided": result.all_correct_decided,
+                "words": result.words,
+                "duration": result.duration,
+                "deliveries": result.deliveries,
+            }
+            if probe is not None:
+                signatures = signature_set(probe.snapshot())
+                new = signatures - seen
+                seen |= signatures
+                sweep_signatures |= signatures
+                protocol_signatures |= signatures
+                row["signatures"] = len(signatures)
+                row["new_signatures"] = len(new)
+                total_rows += 1
+                if new:
+                    rows_with_new += 1
+                    protocol_rows_with_new += 1
+                if atlas is not None:
+                    atlas.record_run(
+                        {
+                            "source": "conformance",
+                            "protocol": name,
+                            "n": n,
+                            "f": f,
+                            "seed": seed,
+                            "scheduler": "random",
+                            "delivery_mode": "classic",
+                        },
+                        signatures,
+                    )
+            rows.append(row)
         conformance = suite.report()
         total_safety += conformance["safety_violations"]
         payload["protocols"][name] = {
             "f": f,
             "runs": rows,
             "conformance": conformance,
+        }
+        if coverage:
+            payload["protocols"][name]["coverage"] = {
+                "unique_signatures": len(protocol_signatures),
+                "runs_with_new": protocol_rows_with_new,
+            }
+    if coverage:
+        # ``unique_signatures`` counts only this sweep's signatures (a
+        # deterministic function of the configuration, so the trend
+        # gate may judge it); the novelty counts depend on the atlas'
+        # prior state and are gate-excluded by name.
+        payload["coverage"] = {
+            "unique_signatures": len(sweep_signatures),
+            "baseline_signatures": baseline,
+            "runs_with_new": rows_with_new,
+            "runs_total": total_rows,
+            "new_rate": rows_with_new / total_rows if total_rows else 0.0,
         }
     payload["safety_violations"] = total_safety
     payload["ok"] = total_safety == 0
@@ -97,6 +164,84 @@ def write_conformance(payload: dict[str, Any], root: str = "."):
     """Persist the payload as ``BENCH_conformance.json`` + a trend record."""
     path, _ = record_bench("conformance", payload, root=root)
     return path
+
+
+def _rate_anomalies(node: Any, path: str = "") -> list[str]:
+    """Paths of every nested ``"conformant": False`` rate verdict."""
+    anomalies: list[str] = []
+    if isinstance(node, dict):
+        if node.get("conformant") is False:
+            anomalies.append(path or "$")
+        for key in sorted(node):
+            anomalies.extend(_rate_anomalies(node[key], f"{path}.{key}" if path else key))
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            anomalies.extend(_rate_anomalies(item, f"{path}[{index}]"))
+    return anomalies
+
+
+def coverage_gate(payload: dict[str, Any]) -> dict[str, Any]:
+    """The nightly stagnation gate over one conformance payload.
+
+    Fails (``ok: False``) exactly when the sweep's new-coverage rate was
+    0% for *every* seed -- no run contributed a signature the atlas had
+    not already seen -- while a monitor is simultaneously reporting a
+    whp-severity rate anomaly (a whp flag, or any rate estimate outside
+    its paper bound).  Either condition alone is fine: a fully-explored
+    sweep with clean monitors is just saturation, and an anomaly found
+    by *fresh* coverage is the monitors doing their job.  Together they
+    mean the sweep is re-exploring one interleaving and the anomaly
+    cannot be trusted to be schedule-independent.
+    """
+    coverage = payload.get("coverage")
+    verdict: dict[str, Any] = {"ok": True, "stagnant": False, "anomalies": []}
+    if not coverage:
+        verdict["note"] = "payload has no coverage accounting; gate vacuous"
+        return verdict
+    verdict["runs_with_new"] = coverage.get("runs_with_new", 0)
+    verdict["runs_total"] = coverage.get("runs_total", 0)
+    verdict["stagnant"] = (
+        coverage.get("runs_total", 0) > 0 and coverage.get("runs_with_new", 0) == 0
+    )
+    anomalies: list[str] = []
+    for name, entry in payload.get("protocols", {}).items():
+        conformance = entry.get("conformance", {})
+        if conformance.get("whp_flags"):
+            anomalies.append(f"{name}: {conformance['whp_flags']} whp flag(s)")
+        anomalies.extend(
+            f"{name}: non-conformant rate at {path}"
+            for path in _rate_anomalies(conformance.get("monitors", {}))
+        )
+    verdict["anomalies"] = anomalies
+    verdict["ok"] = not (verdict["stagnant"] and anomalies)
+    return verdict
+
+
+def format_coverage_gate(verdict: dict[str, Any]) -> str:
+    """Human-readable gate report (``repro coverage --gate`` output)."""
+    lines = ["coverage stagnation gate:"]
+    if "note" in verdict:
+        lines.append(f"  {verdict['note']}")
+    else:
+        lines.append(
+            f"  new coverage: {verdict['runs_with_new']}/{verdict['runs_total']} "
+            "runs contributed unseen signatures"
+            + ("  ** STAGNANT" if verdict["stagnant"] else "")
+        )
+        if verdict["anomalies"]:
+            lines.append(f"  rate anomalies ({len(verdict['anomalies'])}):")
+            lines.extend(f"    {anomaly}" for anomaly in verdict["anomalies"][:12])
+        else:
+            lines.append("  rate anomalies: none")
+    lines.append(
+        "GATE: "
+        + (
+            "PASS"
+            if verdict["ok"]
+            else "FAIL (0% new coverage while monitors flag rate anomalies)"
+        )
+    )
+    return "\n".join(lines)
 
 
 def _rate_cell(entry: dict[str, Any], bound: float | None, kind: str) -> str:
@@ -171,12 +316,29 @@ def format_check(payload: dict[str, Any]) -> str:
                 f"Graded Agreement {ga['successes']}/{ga['trials']}; "
                 f"grades {grades}"
             )
+        coverage = entry.get("coverage")
+        if coverage:
+            lines.append(
+                f"  coverage  : {coverage['unique_signatures']} distinct "
+                f"signatures; {coverage['runs_with_new']}/{len(entry['runs'])} "
+                "seeds contributed new ones"
+            )
         for violation in conformance["violations"]:
             lines.append(
                 f"  ! [{violation['severity']}] "
                 f"{violation['monitor']}/{violation['property']} "
                 f"step {violation['step']}: {violation['message']}"
             )
+    sweep_coverage = payload.get("coverage")
+    if sweep_coverage:
+        lines.append("")
+        lines.append(
+            f"coverage: {sweep_coverage['unique_signatures']} distinct "
+            f"signatures ({sweep_coverage['baseline_signatures']} known "
+            f"before); {sweep_coverage['runs_with_new']}/"
+            f"{sweep_coverage['runs_total']} runs contributed new "
+            f"interleavings ({sweep_coverage['new_rate']:.0%})"
+        )
     lines.append("")
     lines.append("RESULT: " + ("OK" if payload["ok"] else "SAFETY VIOLATIONS"))
     return "\n".join(lines)

@@ -17,6 +17,9 @@ around:
   highlighted (same numeric-leaves rules as ``repro trends --gate``).
 * **conformance verdicts** from the newest ``conformance`` trend record
   (per-protocol safety violations and whp flags).
+* **schedule coverage** from ``BENCH_coverage_atlas.jsonl``
+  (:mod:`repro.experiments.coverage_atlas`): atlas growth, new
+  signatures per run, rarest-hit signatures.
 * **E4 scaling curves** from the newest ``E4_scaling`` trend record
   (mean words vs n per protocol, log-log).
 
@@ -361,6 +364,62 @@ def _conformance_section(store: TrendStore, diagnostics: list[str]) -> str:
     )
 
 
+def _coverage_section(atlas, diagnostics: list[str]) -> str:
+    try:
+        records = atlas.load() if atlas is not None else []
+    except (OSError, ValueError) as exc:
+        message = f"coverage atlas unreadable: {exc}"
+        diagnostics.append(message)
+        return (
+            "<section id='coverage'><h2>Schedule coverage</h2>"
+            f"{_diag(message)}</section>"
+        )
+    if not records:
+        message = (
+            "no coverage atlas (run `python -m repro check`; every "
+            "monitored run appends its signature set)"
+        )
+        diagnostics.append(message)
+        return (
+            "<section id='coverage'><h2>Schedule coverage</h2>"
+            f"{_diag(message)}</section>"
+        )
+    growth = atlas.growth(records)
+    known = atlas.known_signatures(records)
+    contributing = sum(1 for point in growth if point["new"])
+    growth_spark = _spark_svg(
+        [float(point["known_after"]) for point in growth], width=220
+    )
+    new_spark = _spark_svg([float(point["new"]) for point in growth], width=220)
+    families: dict[str, int] = {}
+    for signature in known:
+        family = signature.split(":", 1)[0]
+        families[family] = families.get(family, 0) + 1
+    family_row = ", ".join(
+        f"{name} {count}" for name, count in sorted(families.items())
+    )
+    rare_rows = "".join(
+        f"<tr><td><code>{_esc(signature)}</code></td><td>{runs_with}</td></tr>"
+        for signature, runs_with in atlas.rarest(8, records)
+    )
+    return (
+        "<section id='coverage'><h2>Schedule coverage</h2>"
+        f"<p>{_esc(atlas.path)} &mdash; {len(records)} runs, "
+        f"{len(known)} distinct signatures, {contributing}/{len(growth)} "
+        "runs contributed new coverage "
+        f"(latest new-rate {growth[-1]['new_rate']:.0%})</p>"
+        "<div class='charts'>"
+        f"<div><div class='chart-title'>atlas size / run</div>{growth_spark}"
+        "</div>"
+        f"<div><div class='chart-title'>new signatures / run</div>{new_spark}"
+        "</div></div>"
+        f"<p class='legend'>signatures by family: {_esc(family_row)}</p>"
+        "<table><tr><th>rarest signatures</th><th>runs</th></tr>"
+        + rare_rows
+        + "</table></section>"
+    )
+
+
 def _scaling_section(store: TrendStore, diagnostics: list[str]) -> str:
     try:
         latest = store.latest("E4_scaling")
@@ -416,6 +475,7 @@ def build_dashboard(
     recording_path: str | Path | None = None,
     telemetry: dict[str, Any] | None = None,
     store: TrendStore | None = None,
+    atlas: Any = None,
     rel_tol: float = 0.25,
     title: str = "repro dashboard",
     notes: list[str] | None = None,
@@ -435,6 +495,7 @@ def build_dashboard(
         _telemetry_section(telemetry, diagnostics),
         _trends_section(store, rel_tol, diagnostics),
         _conformance_section(store, diagnostics),
+        _coverage_section(atlas, diagnostics),
         _scaling_section(store, diagnostics),
     ]
     document = (
@@ -465,6 +526,7 @@ def render_dashboard(
     recording, foreign-schema sidecar) degrade to diagnostics exactly
     like missing ones -- the dashboard never refuses to render.
     """
+    from repro.experiments.coverage_atlas import CoverageAtlas
     from repro.sim.flightrecorder import load_recording
     from repro.sim.telemetry import (
         load_telemetry,
@@ -494,6 +556,7 @@ def render_dashboard(
         recording_path=recording_path,
         telemetry=telemetry,
         store=TrendStore(root),
+        atlas=CoverageAtlas(root),
         rel_tol=rel_tol,
         notes=diagnostics,
     )

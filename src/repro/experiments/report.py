@@ -34,6 +34,7 @@ from repro.sim.runner import RunResult, run_protocol, stop_when_all_decided
 from repro.sim.telemetry import (
     LAYER_OF_KIND as _LAYER_OF_KIND,
     TelemetryProbe,
+    load_telemetry,
     save_telemetry,
     telemetry_path_for,
 )
@@ -271,5 +272,18 @@ def format_report(recording: Recording) -> str:
 
 
 def render_report_file(path: str | Path) -> str:
-    """Load a recording file and render the full report."""
-    return format_report(load_recording(path))
+    """Load a recording file and render the full report.
+
+    A telemetry sidecar that exists but cannot be read -- most often a
+    snapshot written by a *newer* build than this one -- degrades to a
+    one-line note at the end of the report instead of failing the
+    render: the report itself needs only the recording.
+    """
+    report = format_report(load_recording(path))
+    sidecar = telemetry_path_for(path)
+    if sidecar.exists():
+        try:
+            load_telemetry(sidecar)
+        except (OSError, ValueError) as exc:
+            report += f"\n\nnote: telemetry sidecar unusable: {exc}"
+    return report

@@ -27,7 +27,9 @@ coin-success rates, deliveries (see :data:`GATE_EXCLUDED_SUBSTRINGS`).
 
 from __future__ import annotations
 
+import hashlib
 import json
+import subprocess
 import time
 from pathlib import Path
 from typing import Any
@@ -43,6 +45,7 @@ __all__ = [
     "format_gate",
     "gate_trends",
     "numeric_drifts",
+    "payload_fingerprint",
     "record_bench",
     "render_trends",
     "sparkline",
@@ -58,6 +61,67 @@ def bench_json_path(name: str, root: str | Path = ".") -> Path:
     return Path(root) / f"BENCH_{name}.json"
 
 
+_DROPPED = object()
+
+
+def _strip_volatile(payload: Any, path: str = "$") -> Any:
+    """``payload`` with every gate-excluded (volatile) path removed --
+    the configuration-and-results view a fingerprint should hash."""
+    if _gate_excluded(path):
+        return _DROPPED
+    if isinstance(payload, dict):
+        stripped = {}
+        for key in sorted(payload):
+            value = _strip_volatile(payload[key], f"{path}.{key}")
+            if value is not _DROPPED:
+                stripped[key] = value
+        return stripped
+    if isinstance(payload, (list, tuple)):
+        return [
+            item
+            for index, entry in enumerate(payload)
+            for item in (_strip_volatile(entry, f"{path}[{index}]"),)
+            if item is not _DROPPED
+        ]
+    return payload
+
+
+def payload_fingerprint(payload: Any) -> str:
+    """Deterministic config fingerprint of a payload's non-volatile part.
+
+    Wall-clock timings, timestamps and rendered report text are stripped
+    (same :data:`GATE_EXCLUDED_SUBSTRINGS` rules as the gate) before
+    hashing, so two runs of the same benchmark at the same configuration
+    fingerprint identically even though their wall clocks differ.
+    Payloads that are *all* volatile (e.g. a rendered-report-only
+    record) hash whole, so they only ever dedupe byte-identical twins.
+    """
+    jsonable = to_jsonable(payload)
+    stripped = _strip_volatile(jsonable)
+    if stripped is _DROPPED or stripped == {} or stripped == []:
+        stripped = jsonable
+    digest = hashlib.sha256(
+        json.dumps(stripped, sort_keys=True).encode()
+    )
+    return digest.hexdigest()[:16]
+
+
+def _current_commit(root: str | Path) -> str | None:
+    """The working tree's HEAD commit, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(Path(root).resolve()), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
 class TrendStore:
     """Append-only journal of benchmark/conformance summaries."""
 
@@ -65,14 +129,46 @@ class TrendStore:
         self.root = Path(root)
         self.path = self.root / TRENDS_FILENAME
 
-    def append(self, name: str, payload: Any, ts: float | None = None) -> dict:
-        """Append one record for series ``name``; returns the record."""
+    def append(
+        self,
+        name: str,
+        payload: Any,
+        ts: float | None = None,
+        dedupe: bool = True,
+    ) -> dict:
+        """Append one record for series ``name``; returns the record.
+
+        Re-running a benchmark in an unchanged working tree used to
+        append a second, numerically identical record -- which widened
+        sparkline windows with noise and made ``regressions`` diff a
+        record against its own clone.  Records therefore carry a
+        ``fingerprint`` (:func:`payload_fingerprint`: config + results,
+        volatile fields stripped) and the checkout's ``commit``; when
+        ``dedupe`` is on (default) and the series' newest record matches
+        on both, the append is skipped and the existing record returned.
+        Records written by older builds lack the fields and never match.
+        """
+        fingerprint = payload_fingerprint(payload)
+        commit = _current_commit(self.root)
+        if dedupe:
+            try:
+                last = self.latest(name)
+            except (OSError, ValueError):
+                last = None  # a damaged journal must not block appends
+            if (
+                last is not None
+                and last.get("fingerprint") == fingerprint
+                and last.get("commit") == commit
+            ):
+                return last
         record = {
             "schema": TREND_SCHEMA,
             "version": TREND_SCHEMA_VERSION,
             "ts": time.time() if ts is None else ts,
             "name": name,
             "payload": to_jsonable(payload),
+            "fingerprint": fingerprint,
+            "commit": commit,
         }
         self.root.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
@@ -149,7 +245,9 @@ def record_bench(
 
 # Path substrings excluded from gating and sparklines: legitimately
 # volatile between otherwise identical runs (wall clock, timestamps,
-# rendered text, machine-speed-derived bounds).
+# rendered text, machine-speed-derived bounds, and coverage-novelty
+# counts, which depend on how much the atlas had accumulated *before*
+# the run rather than on the run itself).
 GATE_EXCLUDED_SUBSTRINGS = (
     "phase_timings",
     "wallclock",
@@ -158,6 +256,10 @@ GATE_EXCLUDED_SUBSTRINGS = (
     ".ts",
     ".report",
     "interval",
+    "new_signatures",
+    "new_rate",
+    "runs_with_new",
+    "baseline_signatures",
 )
 
 

@@ -183,6 +183,7 @@ def run_protocol(
     subscribers: list[Callable[[Any], None]] | None = None,
     monitors: Any = None,
     telemetry: Any = None,
+    coverage: Any = None,
 ) -> RunResult:
     """Run one protocol instance end to end and snapshot the result.
 
@@ -218,6 +219,12 @@ def run_protocol(
     virtual-time series -- in-flight messages, mailbox backlog, blocked
     processes, cumulative words by layer, latency quantiles -- call
     ``probe.snapshot()`` afterwards (see DESIGN.md section 9).
+
+    ``coverage`` attaches a :class:`~repro.sim.coverage.CoverageProbe`
+    (another event-bus subscriber): the probe folds the run into its
+    schedule-coverage signature set -- which races resolved which way,
+    which wait interleavings and delivery permutations occurred -- call
+    ``probe.snapshot()`` afterwards (see DESIGN.md section 11).
     """
     suite = None
     if monitors is not None:
@@ -251,6 +258,8 @@ def run_protocol(
         simulation.events.subscribe(subscriber)
     if telemetry is not None:
         simulation.events.subscribe(telemetry.on_event)
+    if coverage is not None:
+        simulation.events.subscribe(coverage.on_event)
     if suite is not None:
         suite.begin_run()
         simulation.events.subscribe(suite.on_event)

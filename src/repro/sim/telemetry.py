@@ -557,9 +557,16 @@ def load_telemetry(path: str | Path) -> dict[str, Any]:
             f"{snapshot.get('schema') if isinstance(snapshot, dict) else None!r} "
             f"(expected {TELEMETRY_SCHEMA!r})"
         )
-    if snapshot.get("version") != TELEMETRY_SCHEMA_VERSION:
+    version = snapshot.get("version")
+    if version != TELEMETRY_SCHEMA_VERSION:
+        newer = isinstance(version, int) and version > TELEMETRY_SCHEMA_VERSION
+        hint = (
+            "written by a newer build; upgrade this checkout to read it"
+            if newer
+            else "re-record the run or load it with a matching build"
+        )
         raise ValueError(
-            f"{path}: schema version {snapshot.get('version')!r}, this build "
-            f"reads {TELEMETRY_SCHEMA_VERSION}"
+            f"{path}: telemetry schema version {version!r}, this build "
+            f"reads {TELEMETRY_SCHEMA_VERSION} ({hint})"
         )
     return snapshot

@@ -80,3 +80,12 @@ class TestReplay:
         broken = [order[i] if i != 5 else (N - 1, N - 1) for i in range(len(order))]
         with pytest.raises(RuntimeError, match="diverged|exhausted"):
             replay_run(protocol, params, pki, broken)
+
+    def test_replay_scheduler_declines_batched_drain(self):
+        """A replay schedule cannot promise submission-insensitive
+        batches, so it must return None from ``drain`` -- that is what
+        makes ``delivery_mode='batched'`` fall back to the classic step
+        instead of diverging (see the batched-kernel equivalence
+        tests)."""
+        scheduler = ReplayScheduler([(0, 1), (1, 0)], seqs=[0, 1])
+        assert scheduler.drain(pool=None, limit=8) is None
