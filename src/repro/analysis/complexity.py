@@ -99,6 +99,10 @@ def fit_loglog_slope(xs: list[float], ys: list[float]) -> float:
     """
     if len(xs) != len(ys) or len(xs) < 2:
         raise ValueError("need at least two matching points")
+    if not all(math.isfinite(x) for x in xs) or not all(
+        math.isfinite(y) for y in ys
+    ):
+        raise ValueError("log-log fit needs finite data (NaN/inf present)")
     if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
         raise ValueError("log-log fit needs positive data")
     log_x = [math.log(x) for x in xs]
@@ -107,4 +111,9 @@ def fit_loglog_slope(xs: list[float], ys: list[float]) -> float:
     mean_y = sum(log_y) / len(log_y)
     numerator = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
     denominator = sum((lx - mean_x) ** 2 for lx in log_x)
+    if denominator == 0:
+        raise ValueError(
+            "log-log fit needs at least two distinct x values "
+            "(constant series has no slope)"
+        )
     return numerator / denominator

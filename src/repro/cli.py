@@ -14,6 +14,11 @@ plus the flight-recorder family::
     python -m repro report flight.jsonl                 # render the report
     python -m repro export flight.jsonl                 # Perfetto trace JSON
 
+the divergence-forensics pair (see DESIGN.md section 12)::
+
+    python -m repro diff a.jsonl b.jsonl     # first divergent event + slice
+    python -m repro explain flight.jsonl     # replay, minimize, explain
+
 the conformance pair (see DESIGN.md section 8)::
 
     python -m repro check --n 24 --seeds 6   # monitored sweep; writes
@@ -210,6 +215,81 @@ def _run_export(args) -> str:
     )
 
 
+def _load_recording_or_exit(path, command: str):
+    from repro.sim.flightrecorder import load_recording
+
+    if not path:
+        raise SystemExit(
+            f"usage: python -m repro {command} <recording.jsonl>"
+            + (" <recording.jsonl>" if command == "diff" else "")
+        )
+    try:
+        return load_recording(path)
+    except FileNotFoundError:
+        raise SystemExit(f"repro {command}: no such recording: {path}")
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro {command}: {exc}")
+
+
+def _run_diff(args) -> tuple[str, int]:
+    from repro.sim.diffing import (
+        diff_recordings,
+        format_divergence,
+        save_divergence,
+    )
+    from repro.sim.traceexport import save_divergence_trace
+
+    if not args.path or not args.path2:
+        raise SystemExit(
+            "usage: python -m repro diff <a.jsonl> <b.jsonl>"
+        )
+    a = _load_recording_or_exit(args.path, "diff")
+    b = _load_recording_or_exit(args.path2, "diff")
+    report = diff_recordings(a, b, max_slice=args.slice or 20)
+    text = format_divergence(report, a_path=args.path, b_path=args.path2)
+    if report.identical:
+        return text, 0
+    out = args.out or str(args.path).removesuffix(".jsonl") + ".divergence.json"
+    saved = save_divergence(
+        out, {"kind": "diff", "a": str(args.path), "b": str(args.path2),
+              **report.to_dict()}
+    )
+    lines = [text, f"divergence report -> {saved}"]
+    if report.slice:
+        trace = save_divergence_trace(
+            str(saved).removesuffix(".json") + ".trace.json",
+            a,
+            report.slice,
+        )
+        lines.append(
+            f"divergence slice trace -> {trace} "
+            "(open in https://ui.perfetto.dev)"
+        )
+    return "\n".join(lines), 1
+
+
+def _run_explain(args) -> tuple[str, int]:
+    from repro.experiments.forensics import explain_recording, format_explain
+    from repro.sim.diffing import save_divergence
+
+    recording = _load_recording_or_exit(args.path, "explain")
+    protocol = None if args.protocol == "whp_ba" else args.protocol
+    try:
+        payload = explain_recording(
+            args.path,
+            protocol=recording.header.get("protocol") or protocol,
+            max_slice=args.slice or 20,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro explain: {exc}")
+    text = format_explain(payload)
+    if payload.get("failure") is None:
+        return text, 0
+    out = args.out or str(args.path).removesuffix(".jsonl") + ".divergence.json"
+    saved = save_divergence(out, payload)
+    return text + f"\ndivergence report -> {saved}", 1
+
+
 def _run_check(args) -> tuple[str, int]:
     from repro.experiments import conformance
     from repro.experiments.coverage_atlas import CoverageAtlas
@@ -318,13 +398,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         choices=[
-            *COMMANDS, "record", "report", "export", "check", "trends",
-            "coverage", "dashboard", "all", "list",
+            *COMMANDS, "record", "report", "export", "diff", "explain",
+            "check", "trends", "coverage", "dashboard", "all", "list",
         ],
     )
     parser.add_argument(
         "path", nargs="?", default=None,
-        help="recording file (report/export commands)",
+        help="recording file (report/export/diff/explain commands)",
+    )
+    parser.add_argument(
+        "path2", nargs="?", default=None,
+        help="second recording (diff command)",
     )
     parser.add_argument("--n", type=int, default=None, help="system size override")
     parser.add_argument("--seeds", type=int, default=None, help="seed count override")
@@ -364,6 +448,10 @@ def main(argv: list[str] | None = None) -> int:
         "--rarest", type=int, default=None,
         help="coverage: how many rarest-hit signatures to list (default 10)",
     )
+    parser.add_argument(
+        "--slice", type=int, default=None,
+        help="diff/explain: max causal-slice length (default 20)",
+    )
     parser.add_argument("--quick", action="store_true", help="smoke-scale parameters")
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -378,6 +466,8 @@ def main(argv: list[str] | None = None) -> int:
         print("  record  run one protocol with the flight recorder attached")
         print("  report  render a recorded run (round timeline, words, coin, ...)")
         print("  export  convert a recording to Chrome/Perfetto trace JSON")
+        print("  diff    localize the first divergent event between two recordings")
+        print("  explain replay a recording, minimize and explain its failure")
         print("  check   monitored conformance sweep (paper-property checks)")
         print("  trends  cross-run drift tables (--gate exits 1 on drift)")
         print("  coverage  schedule-coverage atlas views (--gate: stagnation)")
@@ -391,6 +481,12 @@ def main(argv: list[str] | None = None) -> int:
         }[args.command]
         print(handler(args))
         return 0
+
+    if args.command in ("diff", "explain"):
+        handler = {"diff": _run_diff, "explain": _run_explain}[args.command]
+        text, code = handler(args)
+        print(text)
+        return code
 
     if args.command == "check":
         if args.quick:

@@ -28,6 +28,17 @@ def loglog_plot(
     positive.  Later series overwrite earlier ones on collisions (the
     legend notes the marker order).
     """
+    # Non-finite points (NaN holes from failed runs) are dropped rather
+    # than crashing the render: a scaling sweep where one n ran out of
+    # budget should still plot the points it has.
+    series = {
+        label: [
+            (x, y)
+            for x, y in pts
+            if math.isfinite(x) and math.isfinite(y)
+        ]
+        for label, pts in series.items()
+    }
     points = [(x, y) for pts in series.values() for x, y in pts]
     if not points:
         raise ValueError("nothing to plot")

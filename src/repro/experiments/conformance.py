@@ -341,4 +341,8 @@ def format_check(payload: dict[str, Any]) -> str:
         )
     lines.append("")
     lines.append("RESULT: " + ("OK" if payload["ok"] else "SAFETY VIOLATIONS"))
+    if not payload["ok"]:
+        from repro.sim.diffing import divergence_hint
+
+        lines.append(divergence_hint("to localize a violating run"))
     return "\n".join(lines)

@@ -17,6 +17,9 @@ around:
   highlighted (same numeric-leaves rules as ``repro trends --gate``).
 * **conformance verdicts** from the newest ``conformance`` trend record
   (per-protocol safety violations and whp flags).
+* **divergence forensics** from the newest ``*.divergence.json`` report
+  (written by ``repro diff`` / ``repro explain``): the verdict, the
+  minimized schedule and the causal slice behind the divergence.
 * **schedule coverage** from ``BENCH_coverage_atlas.jsonl``
   (:mod:`repro.experiments.coverage_atlas`): atlas growth, new
   signatures per run, rarest-hit signatures.
@@ -420,6 +423,83 @@ def _coverage_section(atlas, diagnostics: list[str]) -> str:
     )
 
 
+def _divergence_section(
+    divergence: dict[str, Any] | None,
+    divergence_path: str | Path | None,
+    diagnostics: list[str],
+) -> str:
+    if divergence is None:
+        message = (
+            "no divergence reports (`python -m repro diff` and `repro "
+            "explain` write *.divergence.json when a check goes red)"
+        )
+        diagnostics.append(message)
+        return (
+            "<section id='divergence'><h2>Divergence forensics</h2>"
+            f"{_diag(message)}</section>"
+        )
+    headline = divergence.get("describe")
+    if headline is None:
+        failure = divergence.get("failure")
+        headline = (
+            failure.get("message", "failure explained")
+            if isinstance(failure, dict)
+            else "recording clean: no failure found"
+        )
+    verdict = (
+        "<span class='ok'>clean</span>"
+        if divergence.get("identical")
+        or (divergence.get("kind") == "explain" and not divergence.get("failure"))
+        else f"<span class='drift'>{_esc(headline)}</span>"
+    )
+    parts = [
+        "<section id='divergence'><h2>Divergence forensics</h2>",
+        f"<p>{_esc(divergence_path)} &mdash; {verdict}</p>",
+    ]
+    minimized = divergence.get("minimized")
+    if isinstance(minimized, dict) and minimized.get("describe"):
+        parts.append(f"<p>{_esc(minimized['describe'])}</p>")
+    slice_entries = divergence.get("slice") or []
+    rows = []
+    for entry in slice_entries:
+        route = (
+            f"{entry.get('sender')} &rarr; {entry.get('dest')}"
+            if entry.get("sender") is not None
+            else _esc(entry.get("pid", ""))
+        )
+        label = _esc(
+            entry.get("message_kind") or entry.get("value", "")
+        )
+        flag = (
+            "<span class='drift'>&#9670; diverges</span>"
+            if entry.get("divergent")
+            else ""
+        )
+        rows.append(
+            f"<tr><td>{_esc(entry.get('kind'))}</td>"
+            f"<td>{_fmt(entry.get('step'))}</td>"
+            f"<td>{_fmt(entry.get('seq', ''))}</td>"
+            f"<td>{route}</td><td>{label}</td>"
+            f"<td>{_fmt(entry.get('depth', ''))}</td><td>{flag}</td></tr>"
+        )
+    if rows:
+        parts.append(
+            "<table><tr><th>event</th><th>step</th><th>seq</th>"
+            "<th>route</th><th>kind/value</th><th>depth</th><th></th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+    changed = divergence.get("changed") or []
+    if changed:
+        parts.append(
+            "<p class='legend'>field deltas: "
+            + "; ".join(_esc(delta) for delta in changed)
+            + "</p>"
+        )
+    parts.append("</section>")
+    return "".join(parts)
+
+
 def _scaling_section(store: TrendStore, diagnostics: list[str]) -> str:
     try:
         latest = store.latest("E4_scaling")
@@ -476,6 +556,8 @@ def build_dashboard(
     telemetry: dict[str, Any] | None = None,
     store: TrendStore | None = None,
     atlas: Any = None,
+    divergence: dict[str, Any] | None = None,
+    divergence_path: str | Path | None = None,
     rel_tol: float = 0.25,
     title: str = "repro dashboard",
     notes: list[str] | None = None,
@@ -495,6 +577,7 @@ def build_dashboard(
         _telemetry_section(telemetry, diagnostics),
         _trends_section(store, rel_tol, diagnostics),
         _conformance_section(store, diagnostics),
+        _divergence_section(divergence, divergence_path, diagnostics),
         _coverage_section(atlas, diagnostics),
         _scaling_section(store, diagnostics),
     ]
@@ -551,12 +634,29 @@ def render_dashboard(
                     diagnostics.append(f"telemetry sidecar unusable: {exc}")
             if telemetry is None:
                 telemetry = telemetry_from_events(recording.events)
+    divergence = None
+    divergence_path = None
+    reports = sorted(
+        Path(root).glob("*.divergence.json"),
+        key=lambda p: p.stat().st_mtime,
+    )
+    if reports:
+        import json
+
+        divergence_path = reports[-1]
+        try:
+            divergence = json.loads(divergence_path.read_text())
+        except (OSError, ValueError) as exc:
+            diagnostics.append(f"divergence report unusable: {exc}")
+            divergence_path = None
     document, build_diags = build_dashboard(
         recording=recording,
         recording_path=recording_path,
         telemetry=telemetry,
         store=TrendStore(root),
         atlas=CoverageAtlas(root),
+        divergence=divergence,
+        divergence_path=divergence_path,
         rel_tol=rel_tol,
         notes=diagnostics,
     )

@@ -1,0 +1,365 @@
+"""`repro explain`: replay a recording, re-detect its failure, minimize it.
+
+The forensics driver glues the recording layer to the schedule
+machinery:
+
+* :func:`replay_recording` re-executes a flight recording under a
+  seq-exact :class:`~repro.sim.adversary.ReplayScheduler`, rebuilding
+  the run from its header alone (the ``protocol`` header names a
+  :mod:`repro.experiments.protocols` or
+  :mod:`repro.experiments.scenarios` registry entry).
+* :func:`explain_recording` then turns a red check into an explanation:
+  it re-runs the conformance monitors on the replay, identifies the
+  failure (a safety violation, or a decision disagreement baked into the
+  recording), shrinks the schedule behind it with
+  :func:`repro.sim.minimize.minimize_schedule`, and attaches the causal
+  slice.  The payload persists as ``*.divergence.json`` -- the same
+  artifact family ``repro diff`` writes -- so the dashboard and CI
+  handle both uniformly.
+
+Everything here is offline tooling over recorded runs; the kernel hot
+path is untouched.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.experiments.protocols import PROTOCOLS, make_runner
+from repro.experiments.scenarios import SCENARIOS, make_scenario
+from repro.sim.adversary import Adversary, ReplayScheduler, StaticCorruption
+from repro.sim.diffing import (
+    DEFAULT_MAX_SLICE,
+    diff_events,
+    format_slice,
+)
+from repro.sim.flightrecorder import FlightRecorder, Recording, load_recording
+from repro.sim.minimize import minimize_schedule
+from repro.sim.monitors import MonitorSuite
+from repro.sim.runner import RunResult, run_protocol, stop_when_all_decided
+
+__all__ = [
+    "explain_recording",
+    "format_explain",
+    "replay_recording",
+    "resolve_protocol",
+]
+
+
+class _RunPlan:
+    """Everything needed to re-execute a recording's run under any scheduler."""
+
+    def __init__(
+        self,
+        name: str,
+        factory,
+        params,
+        corruption,
+        behavior_factory,
+        stop_condition,
+    ) -> None:
+        self.name = name
+        self.factory = factory
+        self.params = params
+        self.corruption = corruption
+        self.behavior_factory = behavior_factory
+        self.stop_condition = stop_condition
+
+
+def resolve_protocol(recording: Recording, protocol: str | None = None) -> str:
+    """The registry name a recording's run came from.
+
+    Prefers the explicit ``protocol`` argument, then the recording's
+    ``protocol`` header (written by :func:`repro.experiments.report.record_run`);
+    raises ``ValueError`` when neither is available -- older recordings
+    predate the header and need ``--protocol`` on the CLI.
+    """
+    name = protocol or recording.header.get("protocol")
+    if not name:
+        raise ValueError(
+            "recording has no protocol name in its header; pass --protocol "
+            f"(one of {PROTOCOLS + SCENARIOS})"
+        )
+    if name not in PROTOCOLS and name not in SCENARIOS:
+        raise ValueError(
+            f"unknown protocol {name!r}; one of {PROTOCOLS + SCENARIOS}"
+        )
+    return name
+
+
+def _plan(recording: Recording, name: str) -> _RunPlan:
+    header = recording.header
+    n, f, seed = header["n"], header["f"], header["seed"]
+    if name in SCENARIOS:
+        spec = make_scenario(name, n, f=f, seed=seed)
+        return _RunPlan(
+            name,
+            spec.factory,
+            spec.params,
+            spec.corruption,
+            spec.behavior_factory,
+            spec.stop_condition,
+        )
+    factory, params, _ = make_runner(name, n, f=f, seed=seed)
+    return _RunPlan(
+        name,
+        factory,
+        params,
+        StaticCorruption(set(header.get("corrupted", ()))),
+        None,
+        stop_when_all_decided,
+    )
+
+
+def _execute(
+    recording: Recording,
+    plan: _RunPlan,
+    order: Sequence[tuple[int, int]],
+    seqs: Sequence[int],
+    monitors: MonitorSuite | None = None,
+    recorder: FlightRecorder | None = None,
+) -> RunResult:
+    header = recording.header
+    adversary = Adversary(
+        scheduler=ReplayScheduler(list(order), seqs=list(seqs)),
+        corruption=plan.corruption,
+        behavior_factory=plan.behavior_factory,
+    )
+    return run_protocol(
+        header["n"],
+        header["f"],
+        plan.factory,
+        adversary=adversary,
+        seed=header["seed"],
+        params=plan.params,
+        stop_condition=plan.stop_condition,
+        max_deliveries=len(order),
+        subscribers=[recorder.on_event] if recorder is not None else None,
+        monitors=monitors,
+    )
+
+
+def replay_recording(
+    recording: Recording,
+    protocol: str | None = None,
+    order: Sequence[tuple[int, int]] | None = None,
+    seqs: Sequence[int] | None = None,
+    monitors: MonitorSuite | None = None,
+    recorder: FlightRecorder | None = None,
+) -> RunResult:
+    """Re-execute a recording seq-exactly (or under a modified schedule).
+
+    By default replays the recorded delivery schedule; pass
+    ``order``/``seqs`` to replay a shrunk or perturbed schedule instead
+    (the minimizer does).  Raises ``RuntimeError`` from the replay
+    scheduler if the run diverges from the requested schedule.
+    """
+    plan = _plan(recording, resolve_protocol(recording, protocol))
+    if order is None:
+        order = recording.delivery_order()
+    if seqs is None:
+        seqs = recording.delivery_seqs()
+    return _execute(recording, plan, order, seqs, monitors=monitors, recorder=recorder)
+
+
+def _decisions_of(result: RunResult) -> dict[str, Any]:
+    return {str(pid): result.decisions[pid] for pid in sorted(result.decisions)}
+
+
+def _correct_decided_values(result: RunResult) -> set[Any]:
+    return {
+        result.decisions[pid]
+        for pid in result.correct_pids
+        if pid in result.decisions
+    }
+
+
+def _find_failure(
+    recording: Recording, suite: MonitorSuite, result: RunResult
+) -> dict[str, Any] | None:
+    """Identify the failure the explanation should target, if any."""
+    violations = suite.safety_violations or suite.violations
+    if violations:
+        violation = violations[0]
+        return {
+            "type": "violation",
+            "monitor": violation.monitor,
+            "prop": violation.prop,
+            "severity": violation.severity,
+            "message": violation.message,
+            "step": violation.step,
+            "violation": violation.to_dict(),
+        }
+    if len(_correct_decided_values(result)) > 1:
+        return {
+            "type": "decision_disagreement",
+            "message": (
+                "correct processes decided differently: "
+                f"{_decisions_of(result)}"
+            ),
+            "decisions": _decisions_of(result),
+        }
+    recorded = recording.summary.get("decisions", {})
+    replayed = _decisions_of(result)
+    if recorded and recorded != replayed:
+        return {
+            "type": "decision_mismatch",
+            "message": (
+                f"replay decided {replayed} but the recording says {recorded}"
+            ),
+            "recorded": recorded,
+            "replayed": replayed,
+        }
+    return None
+
+
+def _reproducer(
+    recording: Recording, plan: _RunPlan, failure: dict[str, Any]
+) -> Callable[[Sequence[tuple[int, int]], Sequence[int]], bool]:
+    """``reproduce(order, seqs)`` deciding if the failure recurs."""
+    target = (failure.get("monitor"), failure.get("prop"))
+
+    def reproduce(order: Sequence[tuple[int, int]], seqs: Sequence[int]) -> bool:
+        suite = MonitorSuite()
+        try:
+            result = _execute(recording, plan, order, seqs, monitors=suite)
+        except RuntimeError:
+            return False  # schedule not realizable -> failure not reproduced
+        if failure["type"] == "violation":
+            return any(
+                (violation.monitor, violation.prop) == target
+                for violation in suite.violations
+            )
+        return len(_correct_decided_values(result)) > 1
+
+    return reproduce
+
+
+def explain_recording(
+    source: str | Path | Recording,
+    protocol: str | None = None,
+    max_slice: int = DEFAULT_MAX_SLICE,
+    minimize: bool = True,
+) -> dict[str, Any]:
+    """The full `repro explain` pipeline over one recording.
+
+    Replays the recording seq-exactly with a fresh monitor suite and
+    flight recorder, checks replay fidelity (recorded vs replayed event
+    logs), identifies the failure, and -- when one reproduces -- shrinks
+    its schedule to the deliveries that matter.  Returns the JSON-ready
+    payload (``kind: "explain"``); ``failure is None`` means the
+    recording is clean.
+    """
+    if isinstance(source, Recording):
+        recording, path = source, None
+    else:
+        path, recording = Path(source), load_recording(source)
+    name = resolve_protocol(recording, protocol)
+    plan = _plan(recording, name)
+    order = recording.delivery_order()
+    seqs = recording.delivery_seqs()
+
+    suite = MonitorSuite()
+    recorder = FlightRecorder()
+    replay_error: str | None = None
+    result = None
+    try:
+        result = _execute(
+            recording, plan, order, seqs, monitors=suite, recorder=recorder
+        )
+    except RuntimeError as exc:
+        replay_error = str(exc)
+
+    payload: dict[str, Any] = {
+        "kind": "explain",
+        "recording": str(path) if path is not None else None,
+        "protocol": name,
+        "n": recording.header.get("n"),
+        "f": recording.header.get("f"),
+        "seed": recording.header.get("seed"),
+        "deliveries": len(order),
+    }
+    if replay_error is not None:
+        payload["replay_error"] = replay_error
+        payload["failure"] = {
+            "type": "replay_divergence",
+            "message": (
+                "seq-exact replay diverged from the recording -- the protocol "
+                "build or setup differs from the one that recorded it: "
+                + replay_error
+            ),
+        }
+        return payload
+
+    fidelity = diff_events(recording.events, recorder.events, max_slice=max_slice)
+    payload["replay_identical"] = fidelity.identical
+    if not fidelity.identical:
+        payload["replay_divergence"] = fidelity.to_dict()
+
+    failure = _find_failure(recording, suite, result)
+    payload["failure"] = failure
+    if failure is None:
+        return payload
+
+    violation = failure.get("violation") or {}
+    slice_entries = violation.get("critical_slice") or []
+    if slice_entries:
+        payload["slice"] = slice_entries[-max_slice:]
+
+    if minimize and failure["type"] in ("violation", "decision_disagreement"):
+        try:
+            minimized = minimize_schedule(
+                _reproducer(recording, plan, failure), order, seqs
+            )
+            payload["minimized"] = minimized.to_dict()
+        except ValueError as exc:
+            payload["minimize_error"] = str(exc)
+    return payload
+
+
+def format_explain(payload: dict[str, Any]) -> str:
+    """Human rendering of an :func:`explain_recording` payload."""
+    lines = []
+    if payload.get("recording"):
+        lines.append(f"recording: {payload['recording']}")
+    lines.append(
+        f"run: protocol={payload.get('protocol')} n={payload.get('n')} "
+        f"f={payload.get('f')} seed={payload.get('seed')} "
+        f"deliveries={payload.get('deliveries')}"
+    )
+    if "replay_identical" in payload:
+        lines.append(
+            "replay: event log identical to the recording"
+            if payload["replay_identical"]
+            else "replay: DIVERGED -- "
+            + payload["replay_divergence"]["describe"]
+        )
+    failure = payload.get("failure")
+    if failure is None:
+        lines.append(
+            "no failure found: monitors clean, decisions consistent -- "
+            "nothing to explain"
+        )
+        return "\n".join(lines)
+    lines.append(f"failure [{failure['type']}]: {failure['message']}")
+    minimized = payload.get("minimized")
+    if minimized:
+        lines.append(f"minimized: {minimized['describe']}")
+        lines.append("minimal schedule (the deliveries that matter):")
+        for link, seq in zip(minimized["order"], minimized["seqs"]):
+            lines.append(
+                f"  deliver seq {seq} on link {link[0]} -> {link[1]}"
+            )
+        if minimized["dropped_seqs"]:
+            lines.append(
+                "delayed past the end (droppable): seqs "
+                + ", ".join(map(str, minimized["dropped_seqs"]))
+            )
+    if payload.get("minimize_error"):
+        lines.append(f"minimization skipped: {payload['minimize_error']}")
+    slice_entries = payload.get("slice") or []
+    if slice_entries:
+        lines.append(f"causal slice ({len(slice_entries)} events):")
+        lines += format_slice(slice_entries)
+    return "\n".join(lines)

@@ -21,7 +21,12 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
+import random
+
+from repro.crypto.hashing import derive_seed
 from repro.experiments.protocols import make_runner
+from repro.experiments.scenarios import SCENARIOS, make_scenario
+from repro.sim.adversary import Adversary, RandomScheduler
 from repro.sim.events import DeliverEvent, SendEvent
 from repro.sim.flightrecorder import (
     FlightRecorder,
@@ -63,23 +68,48 @@ def record_run(
     ``telemetry=False``, a :class:`~repro.sim.telemetry.TelemetryProbe`
     rides along and its snapshot lands in the ``.telemetry.json``
     sidecar next to the recording (the dashboard's preferred source).
+
+    ``name`` may also be a :mod:`repro.experiments.scenarios` entry
+    (e.g. ``byz_split``): the run then uses the scenario's scripted
+    Byzantine adversary -- a deliberately broken run whose recording
+    feeds ``python -m repro explain``.
     """
-    factory, params, f = make_runner(name, n, f=f, seed=seed)
     recorder = FlightRecorder()
     probe = TelemetryProbe() if telemetry else None
-    result = run_protocol(
-        n,
-        f,
-        factory,
-        corrupt=set(range(f)),
+    common = dict(
         seed=seed,
-        params=params,
-        stop_condition=stop_when_all_decided,
         profile=profile,
         subscribers=[recorder.on_event],
         telemetry=probe,
     )
-    path = save_recording(out, recorder, result)
+    if name in SCENARIOS:
+        spec = make_scenario(name, n, f=f, seed=seed)
+        adversary = Adversary(
+            scheduler=RandomScheduler(random.Random(derive_seed(seed, "sched"))),
+            corruption=spec.corruption,
+            behavior_factory=spec.behavior_factory,
+        )
+        result = run_protocol(
+            n,
+            spec.f,
+            spec.factory,
+            adversary=adversary,
+            params=spec.params,
+            stop_condition=spec.stop_condition,
+            **common,
+        )
+    else:
+        factory, params, f = make_runner(name, n, f=f, seed=seed)
+        result = run_protocol(
+            n,
+            f,
+            factory,
+            corrupt=set(range(f)),
+            params=params,
+            stop_condition=stop_when_all_decided,
+            **common,
+        )
+    path = save_recording(out, recorder, result, protocol=name)
     if probe is not None:
         save_telemetry(
             telemetry_path_for(path),
@@ -194,6 +224,34 @@ def format_report(recording: Recording) -> str:
         )
     for layer, words in breakdown["words_by_layer"].items():
         lines.append(f"  layer {layer:>8}: {words} words")
+
+    per_process = protocol.get("per_process_words")
+    if per_process:  # absent in recordings from older builds
+        lines += _section("per-process word load (correct senders)")
+        if not per_process.get("senders"):
+            lines.append("  (no correct sends recorded)")
+        else:
+            lines.append(
+                f"  {per_process['senders']} senders: "
+                f"max {per_process.get('max_words')} / "
+                f"mean {per_process.get('mean_words', 0.0):.1f} / "
+                f"min {per_process.get('min_words')} words"
+            )
+            for pid, load in per_process.get("top_senders", []):
+                lines.append(f"  top: process {pid:>4} sent {load} words")
+            for label, key in (
+                ("committee", "committee"),
+                ("non-committee", "non_committee"),
+            ):
+                split = per_process.get(key) or {}
+                if split.get("senders"):
+                    lines.append(
+                        f"  {label:>13}: {split['senders']} senders, "
+                        f"max {split.get('max_words')} / "
+                        f"mean {split.get('mean_words', 0.0):.1f} words"
+                    )
+                else:
+                    lines.append(f"  {label:>13}: (no senders)")
 
     lines += _section("coin")
     invocations = protocol.get("coin_invocations", [])

@@ -159,14 +159,6 @@ def run_curve(
         for w, r in zip(words_per_n, rounds_per_n)
     ]
 
-    def _fit(ys: list[float]) -> float:
-        usable = [(n, y) for n, y in zip(n_values, ys) if y == y]
-        if len(usable) < 2:
-            return float("nan")
-        return fit_loglog_slope(
-            [float(n) for n, _ in usable], [y for _, y in usable]
-        )
-
     return ScalingCurve(
         protocol=name,
         n_values=tuple(n_values),
@@ -174,9 +166,34 @@ def run_curve(
         mean_messages=tuple(messages_per_n),
         mean_rounds=tuple(rounds_per_n),
         words_per_round=tuple(per_round),
-        slope_words=_fit(words_per_n),
-        slope_words_per_round=_fit(per_round),
+        slope_words=_fit(n_values, words_per_n, name, "words"),
+        slope_words_per_round=_fit(n_values, per_round, name, "words_per_round"),
         model_words=tuple(model_points),
+    )
+
+
+def _fit(n_values, ys, protocol: str, series: str) -> float:
+    """Log-log slope over the finite points, or NaN *with a diagnostic*.
+
+    A NaN slope used to be silent; since every downstream consumer (the
+    trend gate, the dashboard's fitted-slope line) simply omits NaN, a
+    curve whose runs all failed would vanish without a trace.  Name the
+    curve and the dropped n-values on stderr instead, dashboard-style:
+    one line, no exception.
+    """
+    import sys
+
+    usable = [(n, y) for n, y in zip(n_values, ys) if y == y]
+    if len(usable) < 2:
+        dropped = [n for n, y in zip(n_values, ys) if y != y]
+        print(
+            f"e4: {protocol}/{series}: log-log fit skipped "
+            f"({len(usable)} usable point(s); dropped n={dropped})",
+            file=sys.stderr,
+        )
+        return float("nan")
+    return fit_loglog_slope(
+        [float(n) for n, _ in usable], [y for _, y in usable]
     )
 
 

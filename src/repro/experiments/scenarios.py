@@ -1,0 +1,106 @@
+"""Named failure scenarios: reconstructible broken runs for forensics.
+
+``make_runner`` (:mod:`repro.experiments.protocols`) builds the *correct*
+protocols by name.  This registry is its dark twin: runs that are
+deliberately broken in a known, deterministic way, so the forensics
+tooling has named red checks it can record, replay and minimize --
+``python -m repro record --protocol byz_split`` writes a recording whose
+safety violation ``python -m repro explain`` can shrink to its minimal
+schedule.  The monitor tests exercise the same shapes inline; keeping a
+registry copy makes them reachable from a recording header alone.
+
+Scenarios are deterministic given ``(n, seed)``: the corruption set, the
+Byzantine script and the protocol factory are all derived from the spec,
+so a seq-exact replay reproduces the recorded run bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.adversary import CorruptionStrategy, StaticCorruption
+from repro.sim.byzantine import ByzantineBehavior, ScriptedBehavior
+from repro.sim.messages import Message
+from repro.sim.process import ProcessContext, Protocol, Wait
+from repro.sim.runner import stop_when_all_decided
+
+__all__ = ["SCENARIOS", "Nudge", "ScenarioSpec", "make_scenario", "split_decider"]
+
+
+@dataclass
+class Nudge(Message):
+    """The byz_split trigger message (one word, instance ``"nudge"``)."""
+
+    payload: int = 0
+
+
+def split_decider(ctx: ProcessContext) -> Protocol:
+    """Broken BA: decides pid parity after hearing one Byzantine nudge.
+
+    The canonical Agreement violation from the monitor tests: every
+    correct process that receives a nudge decides its own parity, so the
+    first two nudge deliveries to opposite-parity processes split the
+    decision -- a failure whose minimal schedule is exactly two
+    deliveries.
+    """
+    yield Wait(
+        lambda mailbox: mailbox.stream("nudge")[0]
+        if mailbox.stream("nudge")
+        else None
+    )
+    ctx.decide(ctx.pid % 2)
+    return ctx.decision
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to (re)build one named scenario run.
+
+    ``corruption`` and ``behavior_factory`` plug into
+    :class:`~repro.sim.adversary.Adversary` alongside any scheduler --
+    the recorder uses the seeded random scheduler, the forensics replay
+    a :class:`~repro.sim.adversary.ReplayScheduler`.
+    """
+
+    name: str
+    factory: Callable[[ProcessContext], Protocol]
+    params: Any
+    f: int
+    corruption: CorruptionStrategy
+    behavior_factory: Callable[[int], ByzantineBehavior]
+    stop_condition: Callable
+
+
+def _byz_split(n: int, f: int | None, seed: int) -> ScenarioSpec:
+    if n < 3:
+        raise ValueError("byz_split needs n >= 3 (two correct parities + 1 Byzantine)")
+    byzantine = n - 1
+    return ScenarioSpec(
+        name="byz_split",
+        factory=split_decider,
+        params=None,
+        f=f if f is not None else 1,
+        corruption=StaticCorruption({byzantine}),
+        behavior_factory=lambda pid: ScriptedBehavior(
+            on_start=lambda ctx: ctx.broadcast(Nudge("nudge"))
+        ),
+        stop_condition=stop_when_all_decided,
+    )
+
+
+_BUILDERS: dict[str, Callable[[int, int | None, int], ScenarioSpec]] = {
+    "byz_split": _byz_split,
+}
+
+SCENARIOS = tuple(_BUILDERS)
+
+
+def make_scenario(
+    name: str, n: int, f: int | None = None, seed: int = 0
+) -> ScenarioSpec:
+    """Build the named scenario spec for an ``n``-process run."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ValueError(f"unknown scenario {name!r}; one of {SCENARIOS}")
+    return builder(n, f, seed)

@@ -475,4 +475,8 @@ def format_gate(verdict: dict[str, Any]) -> str:
     lines.append(
         "GATE: " + ("PASS" if verdict["ok"] else "FAIL (out-of-tolerance drift)")
     )
+    if not verdict["ok"]:
+        from repro.sim.diffing import divergence_hint
+
+        lines.append(divergence_hint("to localize a drifted run"))
     return "\n".join(lines)

@@ -39,6 +39,7 @@ if TYPE_CHECKING:
 __all__ = [
     "FlightRecorder",
     "Recording",
+    "causal_chain",
     "critical_path",
     "load_recording",
     "save_recording",
@@ -119,7 +120,10 @@ def _replay_scheduler(events):
 
 
 def save_recording(
-    path: str | Path, recorder: FlightRecorder, result: "RunResult"
+    path: str | Path,
+    recorder: FlightRecorder,
+    result: "RunResult",
+    protocol: str | None = None,
 ) -> Path:
     """Write a run's flight recording to ``path`` as schema-versioned JSONL.
 
@@ -127,6 +131,11 @@ def save_recording(
     line per event, then a ``summary`` footer carrying the persisted
     metrics (timings included -- a recording documents one concrete run)
     and the protocol rollups, so reports render without re-execution.
+
+    ``protocol`` names the protocol/scenario registry entry the run came
+    from (``make_runner``/``make_scenario``); recordings that carry it
+    can be re-executed by ``python -m repro explain`` without the caller
+    remembering how the run was built.
     """
     from repro.experiments.store import save_jsonl
 
@@ -139,6 +148,8 @@ def save_recording(
         "seed": result.seed,
         "corrupted": sorted(result.corrupted),
     }
+    if protocol is not None:
+        header["protocol"] = protocol
     summary = {
         "k": "summary",
         "deliveries": result.deliveries,
@@ -230,14 +241,6 @@ def critical_path(events, target: DecideEvent | None = None) -> list[dict[str, A
         deepest = max(decides, key=lambda event: (event.depth, -event.step))
     else:
         deepest = target
-    sends_by_seq: dict[int, SendEvent] = {
-        event.seq: event for event in events if type(event) is SendEvent
-    }
-    delivers_by_dest: dict[int, list[DeliverEvent]] = {}
-    for event in events:
-        if type(event) is DeliverEvent:
-            delivers_by_dest.setdefault(event.dest, []).append(event)
-
     chain: list[dict[str, Any]] = [
         {
             "kind": "decide",
@@ -247,8 +250,39 @@ def critical_path(events, target: DecideEvent | None = None) -> list[dict[str, A
             "depth": deepest.depth,
         }
     ]
-    pid, depth, step = deepest.pid, deepest.depth, deepest.step
-    while depth > 0:
+    chain += causal_chain(events, deepest.pid, deepest.depth, deepest.step)
+    chain.reverse()
+    return chain
+
+
+def causal_chain(
+    events,
+    pid: int,
+    depth: int,
+    step: int,
+    limit: int | None = None,
+) -> list[dict[str, Any]]:
+    """Walk the causal-depth chain backwards from ``(pid, depth, step)``.
+
+    The hop rule of :func:`critical_path`, exposed for any anchor -- the
+    divergence differ (:mod:`repro.sim.diffing`) walks back from the
+    first divergent event the same way the monitors walk back from a
+    violating decision.  Returns alternating ``deliver``/``send``
+    entries in *reverse-causal* order (the delivery that put ``pid`` at
+    ``depth`` first); ``limit`` bounds the entry count so slices over
+    deep runs stay readable.  Stops early on an incomplete log (e.g. a
+    recording attached mid-run).
+    """
+    sends_by_seq: dict[int, SendEvent] = {
+        event.seq: event for event in events if type(event) is SendEvent
+    }
+    delivers_by_dest: dict[int, list[DeliverEvent]] = {}
+    for event in events:
+        if type(event) is DeliverEvent:
+            delivers_by_dest.setdefault(event.dest, []).append(event)
+
+    chain: list[dict[str, Any]] = []
+    while depth > 0 and (limit is None or len(chain) < limit):
         hop = next(
             (
                 event
@@ -273,7 +307,7 @@ def critical_path(events, target: DecideEvent | None = None) -> list[dict[str, A
                 "depth": hop.depth,
             }
         )
-        if send is not None:
+        if send is not None and (limit is None or len(chain) < limit):
             chain.append(
                 {
                     "kind": "send",
@@ -287,5 +321,4 @@ def critical_path(events, target: DecideEvent | None = None) -> list[dict[str, A
                 }
             )
         pid, depth, step = hop.sender, depth - 1, (send.step if send else hop.step)
-    chain.reverse()
     return chain

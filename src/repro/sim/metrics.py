@@ -71,6 +71,11 @@ class MetricsRecorder:
     messages_delivered: int = 0
     words_by_kind: Counter = field(default_factory=Counter)
     messages_by_kind: Counter = field(default_factory=Counter)
+    # Per-process accounting (correct senders only, like words_by_kind):
+    # the evidence that no single node secretly does O(n) work in the
+    # sub-quadratic protocols.
+    words_by_sender: Counter = field(default_factory=Counter)
+    messages_by_sender: Counter = field(default_factory=Counter)
     # Verification-cache accounting for this run (deltas of the PKI's
     # monotone counters, written by Simulation.run).
     vrf_verifications: int = 0
@@ -120,6 +125,8 @@ class MetricsRecorder:
             self.messages_sent_correct += 1
             self.words_by_kind[kind] += words
             self.messages_by_kind[kind] += 1
+            self.words_by_sender[envelope.sender] += words
+            self.messages_by_sender[envelope.sender] += 1
 
     def record_delivery(self, envelope: Envelope) -> None:
         self.messages_delivered += 1
@@ -148,6 +155,15 @@ class MetricsRecorder:
             "messages_delivered": self.messages_delivered,
             "words_by_kind": dict(self.words_by_kind),
             "messages_by_kind": dict(self.messages_by_kind),
+            # str keys so the payload round-trips through JSON unchanged.
+            "words_by_sender": {
+                str(pid): self.words_by_sender[pid]
+                for pid in sorted(self.words_by_sender)
+            },
+            "messages_by_sender": {
+                str(pid): self.messages_by_sender[pid]
+                for pid in sorted(self.messages_by_sender)
+            },
             "vrf_verifications": self.vrf_verifications,
             "vrf_cache_hits": self.vrf_cache_hits,
             "sig_verifications": self.sig_verifications,
@@ -284,6 +300,46 @@ class MetricsRecorder:
             record.get("grade") for record in self.records_of("approve")
         )
 
+    def per_process_words(self) -> dict[str, Any]:
+        """Per-node word-load rollup: the 'no hot node' evidence.
+
+        Max/mean/min words sent per correct sender, the heaviest
+        talkers, and the committee vs non-committee split (committee
+        membership from the self-reported ``sampled`` records) -- in the
+        sub-quadratic protocols the committee side should carry the
+        heavy per-node load while everyone else stays near the mean.
+        """
+        loads = dict(self.words_by_sender)
+        if not loads:
+            return {"senders": 0}
+        words = list(loads.values())
+        committee_pids = {
+            record.pid
+            for record in self.records_of("sampled")
+            if record.get("member")
+        }
+        committee = [loads[pid] for pid in loads if pid in committee_pids]
+        rest = [loads[pid] for pid in loads if pid not in committee_pids]
+
+        def stats(values: list[int]) -> dict[str, Any]:
+            if not values:
+                return {"senders": 0, "words": 0}
+            return {
+                "senders": len(values),
+                "words": sum(values),
+                "max_words": max(values),
+                "mean_words": sum(values) / len(values),
+                "min_words": min(values),
+            }
+
+        top = sorted(loads.items(), key=lambda item: (-item[1], item[0]))[:5]
+        return {
+            **stats(words),
+            "top_senders": [[pid, load] for pid, load in top],
+            "committee": stats(committee),
+            "non_committee": stats(rest),
+        }
+
     def protocol_summary(self) -> dict[str, Any]:
         """All protocol-record rollups in one JSON-friendly dict."""
         return {
@@ -293,4 +349,5 @@ class MetricsRecorder:
             "committee_sizes": self.committee_sizes(),
             "sampled_committee_sizes": self.sampled_committee_sizes(),
             "approver_grades": self.approver_grades(),
+            "per_process_words": self.per_process_words(),
         }

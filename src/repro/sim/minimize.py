@@ -1,0 +1,192 @@
+"""Delta-debugging recorded schedules under seq-exact replay.
+
+A flight recording plus :class:`~repro.sim.adversary.ReplayScheduler`
+makes any failure that is a function of the schedule *reproducible*:
+re-running the same ``(sender, dest)`` order with the same envelope
+seqs reproduces the event log bit for bit.  That turns counterexample
+minimization into a search over schedules:
+
+* :func:`minimal_prefix` binary-searches the shortest delivery prefix
+  that still reproduces the failure (sound because a seq-exact prefix
+  replay is *identical* to the original run up to its last delivery, so
+  "the failure has happened by delivery k" is monotone in k).
+* :func:`ddmin_deliveries` then delta-debugs *within* the prefix: it
+  greedily drops delivery chunks whose absence still reproduces the
+  failure.  A dropped delivery is a message the adversary delays past
+  the end of the run -- a legal asynchronous schedule -- so what
+  survives is the set of delay sites that actually *matter*.  Candidate
+  schedules that make the protocol diverge from the recording (the
+  replay scheduler raises ``RuntimeError``) simply don't reproduce.
+* :func:`minimize_schedule` composes both into a
+  :class:`MinimizationResult`.
+
+The caller supplies ``reproduce(order, seqs) -> bool``: re-run the
+scenario under ``ReplayScheduler(order, seqs=seqs)`` with
+``max_deliveries=len(order)`` (the kernel checks the cap *before*
+asking the scheduler, so a prefix run ends cleanly) and report whether
+the failure -- a monitor violation, a decision mismatch, an equivalence
+break -- recurred.  :mod:`repro.experiments.forensics` builds that
+callable from a recording; everything here is schedule arithmetic, far
+from the kernel hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "MinimizationResult",
+    "ddmin_deliveries",
+    "minimal_prefix",
+    "minimize_schedule",
+]
+
+# reproduce(order, seqs) -> did the failure recur under this schedule?
+ReproduceFn = Callable[[Sequence[tuple[int, int]], Sequence[int]], bool]
+
+
+@dataclass(frozen=True)
+class MinimizationResult:
+    """A shrunk schedule that still reproduces the original failure."""
+
+    original: int                       # deliveries in the recorded schedule
+    prefix: int                         # minimal reproducing prefix length
+    order: tuple[tuple[int, int], ...]  # the minimal schedule (links)
+    seqs: tuple[int, ...]               # its envelope seqs (replay-exact)
+    dropped: tuple[int, ...]            # prefix seqs delayed past the end
+    tests: int                          # reproduce() calls spent
+
+    @property
+    def deliveries(self) -> int:
+        return len(self.order)
+
+    def describe(self) -> str:
+        return (
+            f"minimized {self.original} deliveries -> prefix {self.prefix} "
+            f"-> {self.deliveries} essential "
+            f"({len(self.dropped)} delayed, {self.tests} replays)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "original_deliveries": self.original,
+            "minimal_prefix": self.prefix,
+            "deliveries": self.deliveries,
+            "order": [list(link) for link in self.order],
+            "seqs": list(self.seqs),
+            "dropped_seqs": list(self.dropped),
+            "tests": self.tests,
+            "describe": self.describe(),
+        }
+
+
+class _Counted:
+    """Wrap a reproduce callable, counting invocations."""
+
+    def __init__(self, reproduce: ReproduceFn) -> None:
+        self._reproduce = reproduce
+        self.tests = 0
+
+    def __call__(
+        self, order: Sequence[tuple[int, int]], seqs: Sequence[int]
+    ) -> bool:
+        self.tests += 1
+        return bool(self._reproduce(order, seqs))
+
+
+def minimal_prefix(
+    reproduce: ReproduceFn,
+    order: Sequence[tuple[int, int]],
+    seqs: Sequence[int],
+) -> int:
+    """The shortest k such that ``reproduce(order[:k], seqs[:k])``.
+
+    Requires the full schedule to reproduce (raises ``ValueError``
+    otherwise -- a failure that does not recur under seq-exact replay of
+    its own recording is not schedule-determined and cannot be shrunk).
+    Binary search is sound because prefix replays are identical to the
+    original run up to their cap, so reproduction is monotone in k.
+    """
+    if len(order) != len(seqs):
+        raise ValueError("order and seqs must describe the same deliveries")
+    if not reproduce(order, seqs):
+        raise ValueError(
+            "failure does not reproduce under seq-exact replay of the full "
+            "schedule; nothing to minimize"
+        )
+    low, high = 0, len(order)
+    while low < high:
+        mid = (low + high) // 2
+        if reproduce(order[:mid], seqs[:mid]):
+            high = mid
+        else:
+            low = mid + 1
+    return high
+
+
+def ddmin_deliveries(
+    reproduce: ReproduceFn,
+    order: Sequence[tuple[int, int]],
+    seqs: Sequence[int],
+) -> list[int]:
+    """Greedy delta debugging over the delivery set (Zeller's ddmin).
+
+    Returns the (sorted) indices into ``order``/``seqs`` of the
+    deliveries that survive complement reduction: every attempt to drop
+    any single remaining delivery stops reproducing the failure.
+    Assumes the full index set reproduces (callers establish that).
+    """
+    current = list(range(len(order)))
+
+    def test(indices: list[int]) -> bool:
+        return reproduce(
+            [order[i] for i in indices], [seqs[i] for i in indices]
+        )
+
+    chunks = 2
+    while len(current) >= 2:
+        chunk = max(1, -(-len(current) // chunks))  # ceil division
+        reduced = False
+        for start in range(0, len(current), chunk):
+            complement = current[:start] + current[start + chunk:]
+            if complement and test(complement):
+                current = complement
+                chunks = max(2, chunks - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk <= 1:
+                break  # 1-minimal: no single delivery is droppable
+            chunks = min(len(current), chunks * 2)
+    if len(current) == 1 and test([]):
+        current = []
+    return current
+
+
+def minimize_schedule(
+    reproduce: ReproduceFn,
+    order: Sequence[tuple[int, int]],
+    seqs: Sequence[int],
+    prefix_only: bool = False,
+) -> MinimizationResult:
+    """Shrink a recorded schedule to the deliveries that matter.
+
+    Phase 1 truncates (:func:`minimal_prefix`); phase 2 delta-debugs
+    within the prefix (:func:`ddmin_deliveries`) unless ``prefix_only``.
+    The returned schedule is verified reproducing by construction: every
+    accepted candidate passed ``reproduce``.
+    """
+    counted = _Counted(reproduce)
+    prefix = minimal_prefix(counted, order, seqs)
+    kept = list(range(prefix))
+    if not prefix_only and prefix:
+        kept = ddmin_deliveries(counted, order[:prefix], seqs[:prefix])
+    return MinimizationResult(
+        original=len(order),
+        prefix=prefix,
+        order=tuple(order[i] for i in kept),
+        seqs=tuple(seqs[i] for i in kept),
+        dropped=tuple(seqs[i] for i in range(prefix) if i not in set(kept)),
+        tests=counted.tests,
+    )

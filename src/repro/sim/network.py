@@ -316,6 +316,8 @@ class Simulation:
             metrics.messages_sent_correct += n
             metrics.words_by_kind[kind] += words * n
             metrics.messages_by_kind[kind] += n
+            metrics.words_by_sender[sender] += words * n
+            metrics.messages_by_sender[sender] += n
         emit = self.events.emit if self._subscribers else None
         instance = message.instance
         in_flight = self._in_flight

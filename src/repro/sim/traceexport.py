@@ -38,7 +38,13 @@ from repro.sim.events import (
 )
 from repro.sim.flightrecorder import Recording
 
-__all__ = ["chrome_trace_events", "export_chrome_trace", "save_chrome_trace"]
+__all__ = [
+    "chrome_trace_events",
+    "divergence_trace_events",
+    "export_chrome_trace",
+    "save_chrome_trace",
+    "save_divergence_trace",
+]
 
 # One synthetic trace "process" hosts every simulated process as a thread.
 _TRACE_PID = 0
@@ -243,4 +249,114 @@ def save_chrome_trace(path: str | Path, recording: Recording) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(export_chrome_trace(recording)) + "\n")
+    return path
+
+
+# -- divergence slices ---------------------------------------------------------
+
+
+def _slice_matches(event: KernelEvent, entries) -> bool:
+    kind = type(event)
+    if kind in (SendEvent, DeliverEvent):
+        label = "send" if kind is SendEvent else "deliver"
+        return any(
+            entry.get("kind") == label and entry.get("seq") == event.seq
+            for entry in entries
+        )
+    label = {
+        DecideEvent: "decide",
+        WaitBlockEvent: "wait_block",
+        WaitWakeEvent: "wait_wake",
+        CorruptEvent: "corrupt",
+        PhaseEvent: "phase",
+    }.get(kind)
+    return any(
+        entry.get("kind") == label
+        and entry.get("step") == event.step
+        and entry.get("pid") == getattr(event, "pid", None)
+        for entry in entries
+    )
+
+
+def divergence_trace_events(
+    events: Iterable[KernelEvent],
+    slice_entries,
+    header: dict[str, Any] | None = None,
+) -> list[dict[str, Any]]:
+    """Trace events for just a divergence slice, plus a DIVERGENCE marker.
+
+    Filters the full event log down to the causal-slice entries of a
+    :class:`~repro.sim.diffing.DivergenceReport` (matching messages by
+    envelope seq, other events by (step, pid)), keeping the original
+    event-log indices as timestamps so the slice lines up with a full
+    trace of the same recording opened alongside it.
+    """
+    events = list(events)
+    keep = [
+        index
+        for index, event in enumerate(events)
+        if _slice_matches(event, slice_entries)
+    ]
+    subset = chrome_trace_events([events[i] for i in keep], header)
+    # Restore original-log timestamps (chrome_trace_events re-indexed the
+    # subset 0..k; records sharing a re-index came from the same source
+    # event, so walk the groups in order).
+    timestamps = iter(keep)
+    current = None
+    last_ts = -1
+    for record in subset:
+        if record["ph"] == "M":
+            continue
+        if record["ts"] != last_ts:
+            last_ts = record["ts"]
+            current = next(timestamps)
+        record["ts"] = current
+    divergent = [
+        entry for entry in slice_entries if entry.get("divergent")
+    ]
+    if divergent:
+        marker = divergent[-1]
+        trace_ts = keep[-1] if keep else 0
+        subset.append(
+            {
+                "name": "DIVERGENCE",
+                "cat": "divergence",
+                "ph": "i",
+                "s": "g",  # global scope: draw across every track
+                "ts": trace_ts,
+                "pid": _TRACE_PID,
+                "tid": marker.get("dest", marker.get("pid", 0)) or 0,
+                "args": {
+                    key: _jsonable(value)
+                    for key, value in marker.items()
+                    if key != "divergent"
+                },
+            }
+        )
+    return subset
+
+
+def save_divergence_trace(
+    path: str | Path,
+    recording: Recording,
+    slice_entries,
+) -> Path:
+    """Write a divergence slice as a Perfetto-loadable trace sidecar."""
+    payload = {
+        "traceEvents": divergence_trace_events(
+            recording.events, slice_entries, recording.header
+        ),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro divergence slice",
+            **{
+                key: _jsonable(value)
+                for key, value in recording.header.items()
+                if key != "k"
+            },
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload) + "\n")
     return path

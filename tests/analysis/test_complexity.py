@@ -118,3 +118,13 @@ class TestLogLogFit:
             fit_loglog_slope([1.0, 2.0], [1.0])
         with pytest.raises(ValueError):
             fit_loglog_slope([1.0, -2.0], [1.0, 1.0])
+
+    def test_constant_series_has_no_slope(self):
+        with pytest.raises(ValueError, match="two distinct x values"):
+            fit_loglog_slope([5.0, 5.0, 5.0], [1.0, 2.0, 3.0])
+
+    def test_nan_hole_rejected_with_finite_message(self):
+        with pytest.raises(ValueError, match="finite"):
+            fit_loglog_slope([1.0, 2.0, 3.0], [1.0, float("nan"), 3.0])
+        with pytest.raises(ValueError, match="finite"):
+            fit_loglog_slope([1.0, float("inf")], [1.0, 2.0])

@@ -40,3 +40,38 @@ class TestLogLogPlot:
         rows = [line for line in text.splitlines() if line.startswith("|")]
         marker_cols = [row.index("o") for row in rows if "o" in row]
         assert marker_cols == sorted(marker_cols, reverse=True)
+
+    def test_nan_holes_are_dropped_not_fatal(self):
+        """A scaling sweep where one n failed still plots the rest."""
+        text = loglog_plot(
+            {"s": [(10, 100), (100, float("nan")), (1000, 10000)]}
+        )
+        assert "o" in text
+        assert "10 .. 1e+03" in text  # the NaN point did not widen the axes
+
+    def test_all_nan_series_is_nothing_to_plot(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            loglog_plot({"s": [(10, float("nan")), (float("nan"), 5)]})
+
+
+class TestScalingFitDiagnostic:
+    """E4's fit helper names the curve it drops instead of silent NaN."""
+
+    def test_too_few_usable_points_prints_one_line(self, capsys):
+        from repro.experiments.scaling import _fit
+
+        slope = _fit([16, 32, 64], [120.0, float("nan"), float("nan")],
+                     "cachin", "words")
+        assert slope != slope  # NaN
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "cachin/words" in err
+        assert "dropped n=[32, 64]" in err
+
+    def test_nan_holes_are_skipped_but_slope_still_fits(self, capsys):
+        from repro.experiments.scaling import _fit
+
+        slope = _fit([16, 32, 64], [16.0**2, float("nan"), 64.0**2],
+                     "cachin", "words")
+        assert slope == pytest.approx(2.0)
+        assert capsys.readouterr().err == ""

@@ -28,6 +28,7 @@ from repro.sim.adversary import (
     DelayBoundedScheduler,
     StaticCorruption,
 )
+from repro.sim.diffing import diff_events, divergence_hint
 from repro.sim.flightrecorder import FlightRecorder
 from repro.sim.monitors import MonitorSuite, default_monitors
 from repro.sim.network import Simulation
@@ -90,7 +91,9 @@ class TestSharedCoinMatrix:
     def test_batched_equals_classic(self, name, seed):
         classic = run_shared_coin(name, seed, "classic")
         batched = run_shared_coin(name, seed, "batched")
-        assert observable(batched) == observable(classic)
+        assert observable(batched) == observable(classic), divergence_hint(
+            f"batched != classic for shared coin ({name}, seed {seed})"
+        )
 
 
 def run_ba(protocol: str, scheduler_name: str, seed: int, mode: str,
@@ -114,7 +117,9 @@ class TestAgreementMatrix:
     def test_batched_equals_classic(self, protocol, scheduler):
         classic = run_ba(protocol, scheduler, seed=7, mode="classic")
         batched = run_ba(protocol, scheduler, seed=7, mode="batched")
-        assert observable(batched) == observable(classic)
+        assert observable(batched) == observable(classic), divergence_hint(
+            f"batched != classic for {protocol} under {scheduler}"
+        )
 
 
 class TestEventStreamIdentity:
@@ -130,7 +135,15 @@ class TestEventStreamIdentity:
         run_ba("whp_ba", scheduler, seed=3, mode="batched",
                subscribers=[batched_events.append])
         assert classic_events, "no events recorded"
-        assert batched_events == classic_events
+        if batched_events != classic_events:
+            report = diff_events(classic_events, batched_events)
+            pytest.fail(
+                report.describe()
+                + "\n"
+                + divergence_hint(
+                    f"batched event stream diverged under {scheduler}"
+                )
+            )
 
 
 class TestObservabilityStack:
@@ -153,7 +166,9 @@ class TestObservabilityStack:
         classic_result, classic_snapshot, classic_safety = instrumented("classic")
         batched_result, batched_snapshot, batched_safety = instrumented("batched")
         assert batched_safety == classic_safety == []
-        assert observable(batched_result) == observable(classic_result)
+        assert observable(batched_result) == observable(classic_result), (
+            divergence_hint("batched != classic with observability attached")
+        )
         assert batched_snapshot == classic_snapshot
 
 
@@ -206,7 +221,12 @@ class TestBatchedReplay:
         sim, replay_recorder, replayed = self._simulate(
             "classic", recorder.replay_scheduler()
         )
-        assert replay_recorder.events == recorder.events
+        if replay_recorder.events != recorder.events:
+            pytest.fail(
+                diff_events(recorder.events, replay_recorder.events).describe()
+                + "\n"
+                + divergence_hint("replay of a batched recording diverged")
+            )
         assert observable(replayed) == observable(original)
 
     def test_replay_under_batched_mode_declines_and_matches(self):
@@ -218,5 +238,10 @@ class TestBatchedReplay:
         # took the classic fallback for the whole run...
         assert sim.batched_deliveries == 0
         # ...and the replay still reproduces the recording exactly.
-        assert replay_recorder.events == recorder.events
+        if replay_recorder.events != recorder.events:
+            pytest.fail(
+                diff_events(recorder.events, replay_recorder.events).describe()
+                + "\n"
+                + divergence_hint("batched-mode replay diverged")
+            )
         assert observable(replayed) == observable(original)

@@ -20,6 +20,7 @@ from repro.core.whp_coin import whp_coin
 from repro.crypto.pki import PKI
 from repro.experiments.protocols import make_runner
 from repro.sim.adversary import Adversary, StaticCorruption
+from repro.sim.diffing import divergence_hint
 from repro.sim.runner import RunResult, run_protocol, stop_when_all_decided
 
 from tests.integration.test_determinism_matrix import SCHEDULER_FACTORIES
@@ -71,7 +72,9 @@ def run_shared_coin(scheduler_name: str, seed: int, fast: bool) -> RunResult:
 def test_shared_coin_equivalence_across_schedulers(name, seed):
     fast = run_shared_coin(name, seed, fast=True)
     slow = run_shared_coin(name, seed, fast=False)
-    assert observable(fast) == observable(slow)
+    assert observable(fast) == observable(slow), divergence_hint(
+        f"cached != uncached for shared coin ({name}, seed {seed})"
+    )
     # The reference kernel really ran unoptimised.
     assert slow.metrics.verification_cache_hits == 0
     assert slow.metrics.wait_skips == 0
@@ -90,7 +93,9 @@ def test_whp_coin_equivalence(seed):
         )
 
     fast, slow = run(True), run(False)
-    assert observable(fast) == observable(slow)
+    assert observable(fast) == observable(slow), divergence_hint(
+        f"cached != uncached for whp_coin (seed {seed})"
+    )
     # At whp-coin scale the cache should actually be doing work.
     assert fast.metrics.verification_cache_hits > 0
 
@@ -108,5 +113,7 @@ def test_byzantine_agreement_equivalence(seed):
         )
 
     fast, slow = run(True), run(False)
-    assert observable(fast) == observable(slow)
+    assert observable(fast) == observable(slow), divergence_hint(
+        f"cached != uncached for whp_ba (seed {seed})"
+    )
     assert fast.metrics.wait_skips > 0  # keyed wakeups actually engaged

@@ -1,0 +1,180 @@
+"""End-to-end divergence forensics: record, diff, explain, minimize.
+
+This is the acceptance test for the forensics layer: a recorded
+Byzantine-split agreement violation must shrink to its minimal schedule
+under seq-exact replay, and a single-event mutation between two
+recordings must be localized to the exact first divergent seq with a
+bounded causal slice -- all through the same ``python -m repro``
+surface a user would drive.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.forensics import explain_recording, resolve_protocol
+from repro.sim.flightrecorder import Recording, load_recording
+
+
+@pytest.fixture(scope="module")
+def byz_recording(tmp_path_factory):
+    """A recorded byz_split run (n=4, one Byzantine nudger)."""
+    path = tmp_path_factory.mktemp("byz") / "byz.jsonl"
+    code = main([
+        "record", "--protocol", "byz_split", "--n", "4", "--seed", "11",
+        "--no-telemetry", "--no-profile", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def whp_recording(tmp_path_factory):
+    """A clean whp_ba run for the diff and no-failure paths."""
+    path = tmp_path_factory.mktemp("whp") / "whp.jsonl"
+    code = main([
+        "record", "--n", "8", "--seed", "3",
+        "--no-telemetry", "--no-profile", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+def mutate_first_deliver(src, dst) -> int:
+    """Copy ``src`` changing the first deliver's words; return its seq."""
+    lines = src.read_text().splitlines()
+    for position, line in enumerate(lines):
+        record = json.loads(line)
+        if record.get("k") == "deliver":
+            seq = record["seq"]
+            record["words"] += 7
+            lines[position] = json.dumps(record)
+            dst.write_text("\n".join(lines) + "\n")
+            return seq
+    raise AssertionError("recording has no deliver events")
+
+
+class TestExplain:
+    def test_explain_shrinks_byz_split_to_minimal_schedule(
+        self, byz_recording, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(byz_recording.parent)
+        assert main(["explain", str(byz_recording)]) == 1
+        out = capsys.readouterr().out
+        # The replayed violation, named.
+        assert "failure [violation]" in out
+        assert "decided 0" in out and "decided 1" in out
+        # Seq-exact replay reproduced the recording bit for bit.
+        assert "replay: event log identical" in out
+        # The minimal schedule: both nudge deliveries, nothing else.
+        assert "minimized" in out
+        assert "2 essential" in out
+        assert "minimal schedule" in out
+        # The report sidecar was written for the dashboard/CI.
+        sidecar = byz_recording.with_name(
+            byz_recording.name.removesuffix(".jsonl") + ".divergence.json"
+        )
+        assert sidecar.exists()
+        payload = json.loads(sidecar.read_text())
+        assert payload["kind"] == "explain"
+        assert payload["minimized"]["deliveries"] == 2
+
+    def test_explain_api_payload(self, byz_recording):
+        payload = explain_recording(byz_recording)
+        assert payload["protocol"] == "byz_split"
+        assert payload["replay_identical"] is True
+        assert payload["failure"]["type"] == "violation"
+        assert payload["failure"]["severity"] == "safety"
+        # Minimal schedule: one nudge to an even pid, one to an odd pid
+        # (the split needs deciders of both parities).
+        minimized = payload["minimized"]
+        assert minimized["deliveries"] == 2
+        dests = {dest for _, dest in minimized["order"]}
+        assert {dest % 2 for dest in dests} == {0, 1}
+        # Slice stays within the acceptance bound.
+        assert payload["slice"] is None or len(payload["slice"]) <= 20
+
+    def test_clean_recording_explains_to_exit_zero(
+        self, whp_recording, capsys
+    ):
+        assert main(["explain", str(whp_recording)]) == 0
+        out = capsys.readouterr().out
+        assert "no failure" in out
+        assert "replay: event log identical" in out
+
+    def test_headerless_recording_needs_explicit_protocol(self, tmp_path):
+        src = load_recording.__module__  # silence unused-import linters
+        assert src
+        recording = Recording(header={"n": 4}, events=(), summary={})
+        with pytest.raises(ValueError, match="--protocol"):
+            resolve_protocol(recording)
+
+
+class TestDiffCLI:
+    def test_identical_recordings_exit_zero(
+        self, whp_recording, tmp_path, capsys
+    ):
+        copy = tmp_path / "copy.jsonl"
+        shutil.copy(whp_recording, copy)
+        assert main(["diff", str(whp_recording), str(copy)]) == 0
+        assert "recordings identical" in capsys.readouterr().out
+
+    def test_single_event_mutation_localized_to_seq(
+        self, whp_recording, tmp_path, capsys
+    ):
+        mutant = tmp_path / "mutant.jsonl"
+        seq = mutate_first_deliver(whp_recording, mutant)
+        out_json = tmp_path / "whp.divergence.json"
+        code = main([
+            "diff", str(whp_recording), str(mutant), "--out", str(out_json),
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert f"seq {seq}" in out
+        assert "words" in out
+        assert "<-- DIVERGES" in out
+        # Content divergence, not a schedule divergence.
+        assert "schedules agree" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["kind"] == "diff"
+        assert payload["seq"] == seq
+        assert 1 <= len(payload["slice"]) <= 20
+        # The Perfetto sidecar for the slice.
+        trace = tmp_path / "whp.divergence.trace.json"
+        assert trace.exists()
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(record.get("name") == "DIVERGENCE" for record in events)
+
+    def test_missing_operand_rejected(self, whp_recording):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["diff", str(whp_recording)])
+
+
+class TestDashboardPanel:
+    def test_dashboard_renders_newest_divergence_report(
+        self, whp_recording, tmp_path, capsys
+    ):
+        from repro.experiments.dashboard import render_dashboard
+
+        mutant = tmp_path / "mutant.jsonl"
+        mutate_first_deliver(whp_recording, mutant)
+        assert main([
+            "diff", str(whp_recording), str(mutant),
+            "--out", str(tmp_path / "run.divergence.json"),
+        ]) == 1
+        capsys.readouterr()
+        out, diagnostics = render_dashboard(tmp_path / "d.html", root=tmp_path)
+        html = out.read_text()
+        assert "Divergence forensics" in html
+        assert "diverges" in html
+        assert not any("divergence" in diag for diag in diagnostics)
+
+    def test_dashboard_degrades_without_reports(self, tmp_path):
+        from repro.experiments.dashboard import render_dashboard
+
+        out, diagnostics = render_dashboard(tmp_path / "d.html", root=tmp_path)
+        assert any("divergence" in diag for diag in diagnostics)

@@ -308,9 +308,15 @@ class TestSubmitBroadcast:
                 metrics.messages_sent_total,
                 metrics.messages_delivered,
                 metrics.words_total,
+                dict(metrics.words_by_kind),
+                dict(metrics.words_by_sender),
+                dict(metrics.messages_by_sender),
             )
 
-        assert run_with(broadcaster) == run_with(unicaster)
+        broadcast_counters = run_with(broadcaster)
+        assert broadcast_counters == run_with(unicaster)
+        # The hoisted accounting really attributed the load to pid 0.
+        assert broadcast_counters[4] == {0: 4 * Note("x").words()}
 
     def test_broadcast_invalid_sender_rejected(self):
         sim = make_sim()

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.messages import Envelope, Message
-from repro.sim.metrics import MetricsRecorder
+from repro.sim.metrics import MetricsRecorder, ProtocolRecord
 
 
 @dataclass
@@ -63,3 +63,64 @@ class TestWordAccounting:
         metrics.record_delivery(env)
         metrics.record_delivery(env)
         assert metrics.messages_delivered == 2
+
+
+class TestPerProcessWords:
+    """The 'no hot node' accounting behind the repro report table."""
+
+    def _loaded(self):
+        metrics = MetricsRecorder()
+        for sender, sends in ((0, 1), (1, 2), (2, 4)):
+            for seq in range(sends):
+                metrics.record_send(envelope(sender=sender, seq=seq))
+        metrics.record_send(envelope(sender=9, correct=False))
+        return metrics
+
+    def test_per_sender_counters_track_correct_sends_only(self):
+        metrics = self._loaded()
+        assert dict(metrics.words_by_sender) == {0: 3, 1: 6, 2: 12}
+        assert dict(metrics.messages_by_sender) == {0: 1, 1: 2, 2: 4}
+        assert 9 not in metrics.words_by_sender
+
+    def test_to_dict_round_trips_with_string_keys(self):
+        payload = self._loaded().to_dict()
+        assert payload["words_by_sender"] == {"0": 3, "1": 6, "2": 12}
+        assert payload["messages_by_sender"] == {"0": 1, "1": 2, "2": 4}
+
+    def test_rollup_stats_and_top_senders(self):
+        rollup = self._loaded().per_process_words()
+        assert rollup["senders"] == 3
+        assert rollup["words"] == 21
+        assert rollup["max_words"] == 12
+        assert rollup["min_words"] == 3
+        assert rollup["mean_words"] == 7.0
+        assert rollup["top_senders"][0] == [2, 12]
+
+    def test_committee_split_uses_sampled_membership(self):
+        metrics = self._loaded()
+        metrics.protocol_records.append(
+            ProtocolRecord(
+                step=0, pid=2, kind="sampled",
+                data=(("instance", "i"), ("role", "approve"), ("member", True)),
+            )
+        )
+        metrics.protocol_records.append(
+            ProtocolRecord(
+                step=0, pid=0, kind="sampled",
+                data=(("instance", "i"), ("role", "approve"), ("member", False)),
+            )
+        )
+        rollup = metrics.per_process_words()
+        assert rollup["committee"] == {
+            "senders": 1, "words": 12, "max_words": 12,
+            "mean_words": 12.0, "min_words": 12,
+        }
+        assert rollup["non_committee"]["senders"] == 2
+        assert rollup["non_committee"]["words"] == 9
+
+    def test_empty_recorder_degrades(self):
+        assert MetricsRecorder().per_process_words() == {"senders": 0}
+
+    def test_rollup_reaches_protocol_summary(self):
+        summary = self._loaded().protocol_summary()
+        assert summary["per_process_words"]["max_words"] == 12

@@ -1,0 +1,104 @@
+"""Unit tests for schedule minimization (synthetic reproduce oracles).
+
+The real pipeline (record a Byzantine-split run, rebuild it under
+seq-exact replay, shrink it) is exercised in
+tests/integration/test_forensics.py; here ``reproduce`` is a pure
+function of the candidate schedule so the search logic itself --
+prefix binary search, complement ddmin, the test counter -- is pinned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.minimize import (
+    MinimizationResult,
+    ddmin_deliveries,
+    minimal_prefix,
+    minimize_schedule,
+)
+
+ORDER = [(s, (s + 1) % 4) for s in range(10)]
+SEQS = list(range(10))
+
+
+def needs(*essential):
+    """A failure that recurs iff every essential seq was delivered."""
+    wanted = set(essential)
+    return lambda order, seqs: wanted <= set(seqs)
+
+
+class TestMinimalPrefix:
+    def test_prefix_is_exactly_past_the_last_essential_seq(self):
+        assert minimal_prefix(needs(3, 7), ORDER, SEQS) == 8
+
+    def test_raises_when_full_schedule_does_not_reproduce(self):
+        with pytest.raises(ValueError, match="does not reproduce"):
+            minimal_prefix(needs(99), ORDER, SEQS)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="same deliveries"):
+            minimal_prefix(needs(0), ORDER, SEQS[:-1])
+
+
+class TestDdmin:
+    def test_keeps_exactly_the_essential_deliveries(self):
+        kept = ddmin_deliveries(needs(3, 7), ORDER, SEQS)
+        assert [SEQS[i] for i in kept] == [3, 7]
+
+    def test_empty_failure_shrinks_to_nothing(self):
+        assert ddmin_deliveries(needs(), ORDER, SEQS) == []
+
+
+class TestMinimizeSchedule:
+    def test_composes_prefix_and_ddmin(self):
+        result = minimize_schedule(needs(3, 7), ORDER, SEQS)
+        assert isinstance(result, MinimizationResult)
+        assert result.original == 10
+        assert result.prefix == 8
+        assert result.seqs == (3, 7)
+        assert result.order == (ORDER[3], ORDER[7])
+        assert result.dropped == (0, 1, 2, 4, 5, 6)
+        assert result.deliveries == 2
+
+    def test_prefix_only_skips_ddmin(self):
+        result = minimize_schedule(needs(3, 7), ORDER, SEQS, prefix_only=True)
+        assert result.prefix == 8
+        assert result.seqs == tuple(range(8))
+        assert result.dropped == ()
+
+    def test_counts_every_reproduce_call(self):
+        calls = []
+        oracle = needs(3, 7)
+
+        def counted(order, seqs):
+            calls.append(tuple(seqs))
+            return oracle(order, seqs)
+
+        result = minimize_schedule(counted, ORDER, SEQS)
+        assert result.tests == len(calls)
+        assert result.tests > 0
+
+    def test_diverging_candidates_just_fail_to_reproduce(self):
+        """A candidate that makes the replay diverge must be treated as
+        non-reproducing, not crash the search (forensics catches the
+        scheduler's RuntimeError and returns False; here the oracle
+        models that directly)."""
+        essential = needs(3, 7)
+
+        def oracle(order, seqs):
+            if len(seqs) == 5:  # pretend these candidates diverge
+                return False
+            return essential(order, seqs)
+
+        result = minimize_schedule(oracle, ORDER, SEQS)
+        assert {3, 7} <= set(result.seqs)
+
+    def test_describe_and_to_dict_agree(self):
+        result = minimize_schedule(needs(3, 7), ORDER, SEQS)
+        payload = result.to_dict()
+        assert payload["describe"] == result.describe()
+        assert payload["minimal_prefix"] == 8
+        assert payload["deliveries"] == 2
+        assert payload["dropped_seqs"] == [0, 1, 2, 4, 5, 6]
+        assert "8" in result.describe() and "2 essential" in result.describe()
