@@ -18,9 +18,12 @@ a full BA run:
   ~100us of crypto and scheduling, so the margin is enormous.
 * **Monitor dispatch cost**: the recorded event log replayed through a
   fresh MonitorSuite, timed, as a fraction of the bare run's wall-clock.
-  Asserted < 3% by the same computed-bound methodology: replay measures
-  exactly the per-event online work (append + dispatch + safety
-  bookkeeping) that a monitored run adds.
+  Asserted < 3% on the full run by the same computed-bound methodology:
+  replay measures exactly the per-event online work (append + dispatch +
+  safety bookkeeping) that a monitored run adds.  The smoke holds the
+  suite to an absolute per-event budget instead (scaled by a measured
+  machine-speed factor): at smoke scale the cheap small-n denominator
+  made the ratio assert flake on slow machines.
 * **Telemetry dispatch cost**: the same replay methodology applied to a
   :class:`~repro.sim.telemetry.TelemetryProbe` (DESIGN.md section 9) --
   a telemetry-attached run is asserted byte-identical to the bare run,
@@ -40,9 +43,9 @@ few hundred ns/event while the kernel's per-event cost *grows* with n
 ~10us/event at n=24 versus ~18us/event at n=150.  The full benchmark
 therefore asserts the <3% telemetry ratio on a full n=150 run, where
 the margin is robust to machine state; the CI smoke (full n=24 run,
-seconds not minutes) asserts the same byte-identity, determinism,
-guard and monitor properties plus an *absolute* per-event telemetry
-dispatch budget, which catches the same probe regressions without the
+seconds not minutes) asserts the same byte-identity, determinism and
+guard properties plus *absolute* per-event monitor/telemetry/coverage
+dispatch budgets, which catch the same regressions without the
 unrepresentative small-n denominator.
 
 The smoke run also appends its deterministic counters (events,
@@ -83,6 +86,15 @@ TELEMETRY_NS_PER_EVENT_BUDGET = 1500.0
 # signature-count dict work per delivery (~500-800ns/event warm), so
 # the budget sits a bit higher while still catching real regressions.
 COVERAGE_NS_PER_EVENT_BUDGET = 2500.0
+# And for monitor dispatch: the <3% ratio is only robust at n=FULL_N
+# (the kernel's per-event cost grows with n; at smoke scale the cheap
+# denominator made the ratio assert flake on slow or noisy machines).
+# The smoke instead holds the suite to an absolute per-event dispatch
+# budget, scaled by how slow this machine measures against a reference
+# interpreter (the guard micro-benchmark doubles as the calibration
+# probe: ~25ns/guard on the machines the budgets were set on).
+MONITOR_NS_PER_EVENT_BUDGET = 4000.0
+REFERENCE_GUARD_NS = 25.0
 
 
 def _ba_run(n: int, seed: int, subscribers=None, monitors=None,
@@ -231,6 +243,14 @@ def run_comparison(
     coverage_ns = (
         coverage_cost / guard_executions * 1e9 if guard_executions else 0.0
     )
+    monitor_ns = (
+        monitor_cost / guard_executions * 1e9 if guard_executions else 0.0
+    )
+    # How slow this machine is relative to the reference the absolute
+    # budgets were calibrated on; never scales budgets *down* (a fast
+    # machine should still flag a genuinely regressed dispatch path).
+    machine_factor = max(1.0, per_guard * 1e9 / REFERENCE_GUARD_NS)
+    monitor_budget = MONITOR_NS_PER_EVENT_BUDGET * machine_factor
 
     recording_ratio = recorded_elapsed / bare_elapsed if bare_elapsed else 1.0
     monitored_ratio = monitored_elapsed / bare_elapsed if bare_elapsed else 1.0
@@ -247,6 +267,11 @@ def run_comparison(
         f"limit {max_overhead:.0%}" if assert_telemetry_ratio
         else f"informational at n={n}; "
         f"budget {COVERAGE_NS_PER_EVENT_BUDGET:.0f}ns/event"
+    )
+    monitor_limit_note = (
+        f"limit {max_overhead:.0%}" if assert_telemetry_ratio
+        else f"informational at n={n}; budget {monitor_budget:.0f}ns/event "
+        f"(machine factor {machine_factor:.2f})"
     )
     report = (
         f"observability overhead: whp_ba n={n} seed={ROOT_SEED} "
@@ -267,7 +292,8 @@ def run_comparison(
         f" = {guard_executions * per_guard * 1e3:.2f}ms\n"
         f"  no-subscriber overhead bound: {bound:.4%} (limit {max_overhead:.0%})\n"
         f"  monitor dispatch bound      : {monitor_bound:.4%} "
-        f"({monitor_cost * 1e3:.2f}ms replayed, limit {max_overhead:.0%})\n"
+        f"({monitor_cost * 1e3:.2f}ms replayed, {monitor_ns:.0f}ns/event; "
+        f"{monitor_limit_note})\n"
         f"  telemetry dispatch bound    : {telemetry_bound:.4%} "
         f"({telemetry_cost * 1e3:.2f}ms replayed, {telemetry_ns:.0f}ns/event; "
         f"{telemetry_limit_note})\n"
@@ -279,11 +305,11 @@ def run_comparison(
         f"no-subscriber bus overhead bound {bound:.4%} exceeds "
         f"{max_overhead:.0%}\n" + report
     )
-    assert monitor_bound < max_overhead, (
-        f"monitor dispatch bound {monitor_bound:.4%} exceeds "
-        f"{max_overhead:.0%}\n" + report
-    )
     if assert_telemetry_ratio:
+        assert monitor_bound < max_overhead, (
+            f"monitor dispatch bound {monitor_bound:.4%} exceeds "
+            f"{max_overhead:.0%}\n" + report
+        )
         assert telemetry_bound < max_overhead, (
             f"telemetry dispatch bound {telemetry_bound:.4%} exceeds "
             f"{max_overhead:.0%}\n" + report
@@ -294,8 +320,13 @@ def run_comparison(
         )
     else:
         # Small-n runs have an unrepresentatively cheap kernel denominator
-        # (see module docstring), so hold the probes to an absolute
-        # per-event budget instead of the ratio.
+        # (see module docstring), so hold the suite and the probes to an
+        # absolute per-event budget instead of the ratio.
+        assert monitor_ns < monitor_budget, (
+            f"monitor dispatch cost {monitor_ns:.0f}ns/event exceeds the "
+            f"{monitor_budget:.0f}ns/event budget "
+            f"(machine factor {machine_factor:.2f})\n" + report
+        )
         assert telemetry_ns < TELEMETRY_NS_PER_EVENT_BUDGET, (
             f"telemetry fold cost {telemetry_ns:.0f}ns/event exceeds the "
             f"{TELEMETRY_NS_PER_EVENT_BUDGET:.0f}ns/event budget\n" + report
@@ -344,8 +375,9 @@ def main(argv: list[str]) -> int:
     parser.add_argument(
         "--smoke", action="store_true",
         help=f"CI-sized run (full n={SMOKE_N} run, seconds not minutes); "
-        "same identity/determinism assertions, absolute telemetry budget "
-        f"instead of the <3% ratio (asserted at n={FULL_N} by the full run)",
+        "same identity/determinism assertions, absolute per-event dispatch "
+        f"budgets instead of the <3% ratios (asserted at n={FULL_N} by the "
+        "full run)",
     )
     smoke = parser.parse_args(argv).smoke
     if smoke:

@@ -33,6 +33,15 @@ the schedule-coverage atlas (see DESIGN.md section 11)::
     python -m repro coverage flight.jsonl    # one recording's coverage
     python -m repro coverage --gate          # exit 1 on coverage stagnation
 
+the schedule fuzzer (see DESIGN.md section 13)::
+
+    python -m repro fuzz flight.jsonl --budget 200   # mutate the recorded
+                                             # schedule, grow the coverage
+                                             # corpus, bundle + minimize any
+                                             # violations; exits 1 on safety
+                                             # violations outside the
+                                             # recording's own baseline
+
 and the telemetry pane (see DESIGN.md section 9)::
 
     python -m repro dashboard flight.jsonl --out dashboard.html
@@ -290,6 +299,25 @@ def _run_explain(args) -> tuple[str, int]:
     return text + f"\ndivergence report -> {saved}", 1
 
 
+def _run_fuzz(args) -> tuple[str, int]:
+    from repro.experiments.fuzzing import format_fuzz, fuzz_recording
+
+    recording = _load_recording_or_exit(args.path, "fuzz")
+    protocol = None if args.protocol == "whp_ba" else args.protocol
+    try:
+        payload = fuzz_recording(
+            args.path,
+            protocol=recording.header.get("protocol") or protocol,
+            budget=args.budget or 200,
+            seed=args.seed,
+            atlas_root=args.atlas or ".",
+            out=args.out,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro fuzz: {exc}")
+    return format_fuzz(payload), 0 if payload.get("ok") else 1
+
+
 def _run_check(args) -> tuple[str, int]:
     from repro.experiments import conformance
     from repro.experiments.coverage_atlas import CoverageAtlas
@@ -364,10 +392,13 @@ def _run_trends(args) -> tuple[str, int]:
     store = trends.TrendStore(".")
     tolerance = (args.tolerance if args.tolerance is not None else 25.0) / 100.0
     last = args.last or 2
-    if args.gate:
-        verdict = trends.gate_trends(store, rel_tol=tolerance, last=last)
-        return trends.format_gate(verdict), 0 if verdict["ok"] else 1
-    return trends.render_trends(store, rel_tol=tolerance, last=last), 0
+    try:
+        if args.gate:
+            verdict = trends.gate_trends(store, rel_tol=tolerance, last=last)
+            return trends.format_gate(verdict), 0 if verdict["ok"] else 1
+        return trends.render_trends(store, rel_tol=tolerance, last=last), 0
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"repro trends: {exc}")
 
 
 def _run_dashboard(args) -> str:
@@ -399,7 +430,7 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             *COMMANDS, "record", "report", "export", "diff", "explain",
-            "check", "trends", "coverage", "dashboard", "all", "list",
+            "fuzz", "check", "trends", "coverage", "dashboard", "all", "list",
         ],
     )
     parser.add_argument(
@@ -449,6 +480,14 @@ def main(argv: list[str] | None = None) -> int:
         help="coverage: how many rarest-hit signatures to list (default 10)",
     )
     parser.add_argument(
+        "--budget", type=int, default=None,
+        help="fuzz: mutated-candidate budget (default 200)",
+    )
+    parser.add_argument(
+        "--atlas", default=None,
+        help="fuzz: directory holding the coverage atlas (default .)",
+    )
+    parser.add_argument(
         "--slice", type=int, default=None,
         help="diff/explain: max causal-slice length (default 20)",
     )
@@ -468,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  export  convert a recording to Chrome/Perfetto trace JSON")
         print("  diff    localize the first divergent event between two recordings")
         print("  explain replay a recording, minimize and explain its failure")
+        print("  fuzz    coverage-guided schedule fuzzing over a recording")
         print("  check   monitored conformance sweep (paper-property checks)")
         print("  trends  cross-run drift tables (--gate exits 1 on drift)")
         print("  coverage  schedule-coverage atlas views (--gate: stagnation)")
@@ -482,8 +522,10 @@ def main(argv: list[str] | None = None) -> int:
         print(handler(args))
         return 0
 
-    if args.command in ("diff", "explain"):
-        handler = {"diff": _run_diff, "explain": _run_explain}[args.command]
+    if args.command in ("diff", "explain", "fuzz"):
+        handler = {
+            "diff": _run_diff, "explain": _run_explain, "fuzz": _run_fuzz,
+        }[args.command]
         text, code = handler(args)
         print(text)
         return code

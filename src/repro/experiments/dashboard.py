@@ -20,6 +20,9 @@ around:
 * **divergence forensics** from the newest ``*.divergence.json`` report
   (written by ``repro diff`` / ``repro explain``): the verdict, the
   minimized schedule and the causal slice behind the divergence.
+* **fuzzing campaign** from the newest ``fuzzing`` trend record
+  (written by ``repro fuzz``): candidate yield, corpus growth, new
+  signature families and any counterexample bundles.
 * **schedule coverage** from ``BENCH_coverage_atlas.jsonl``
   (:mod:`repro.experiments.coverage_atlas`): atlas growth, new
   signatures per run, rarest-hit signatures.
@@ -423,6 +426,65 @@ def _coverage_section(atlas, diagnostics: list[str]) -> str:
     )
 
 
+def _fuzzing_section(store: TrendStore, diagnostics: list[str]) -> str:
+    try:
+        latest = store.latest("fuzzing")
+    except ValueError:
+        latest = None
+    if latest is None:
+        message = (
+            "no fuzzing record (run `python -m repro fuzz "
+            "<recording.jsonl>`)"
+        )
+        diagnostics.append(message)
+        return (
+            "<section id='fuzzing'><h2>Fuzzing</h2>"
+            f"{_diag(message)}</section>"
+        )
+    payload = latest["payload"]
+    novelty = payload.get("novelty") or {}
+    verdict = (
+        "<span class='ok'>OK</span>"
+        if payload.get("ok")
+        else "<span class='drift'>NEW SAFETY VIOLATIONS</span>"
+    )
+    cells = {
+        "budget": payload.get("budget"),
+        "realizable": novelty.get("realizable"),
+        "unrealizable": novelty.get("unrealizable"),
+        "corpus": novelty.get("corpus_size"),
+        "new signatures": novelty.get("new_signatures"),
+        "counterexamples": novelty.get("counterexamples"),
+    }
+    head = "".join(f"<th>{_esc(key)}</th>" for key in cells)
+    row = "".join(f"<td>{_fmt(value)}</td>" for value in cells.values())
+    families = novelty.get("new_families") or []
+    family_line = (
+        f"<p class='legend'>new signature families: "
+        f"{_esc(', '.join(families))}</p>"
+        if families
+        else ""
+    )
+    new = payload.get("new_violations") or []
+    new_line = (
+        "<p class='drift'>new safety violations: "
+        + _esc(", ".join(new))
+        + "</p>"
+        if new
+        else ""
+    )
+    return (
+        "<section id='fuzzing'><h2>Fuzzing</h2>"
+        f"<p>{_esc(payload.get('recording'))} &mdash; "
+        f"protocol={_esc(payload.get('protocol'))} "
+        f"seed={_fmt(payload.get('seed'))} &mdash; {verdict}</p>"
+        f"<table><tr>{head}</tr><tr>{row}</tr></table>"
+        + family_line
+        + new_line
+        + "</section>"
+    )
+
+
 def _divergence_section(
     divergence: dict[str, Any] | None,
     divergence_path: str | Path | None,
@@ -578,6 +640,7 @@ def build_dashboard(
         _trends_section(store, rel_tol, diagnostics),
         _conformance_section(store, diagnostics),
         _divergence_section(divergence, divergence_path, diagnostics),
+        _fuzzing_section(store, diagnostics),
         _coverage_section(atlas, diagnostics),
         _scaling_section(store, diagnostics),
     ]

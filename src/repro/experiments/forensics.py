@@ -241,6 +241,7 @@ def explain_recording(
     protocol: str | None = None,
     max_slice: int = DEFAULT_MAX_SLICE,
     minimize: bool = True,
+    minimize_budget: int | None = None,
 ) -> dict[str, Any]:
     """The full `repro explain` pipeline over one recording.
 
@@ -249,7 +250,8 @@ def explain_recording(
     logs), identifies the failure, and -- when one reproduces -- shrinks
     its schedule to the deliveries that matter.  Returns the JSON-ready
     payload (``kind: "explain"``); ``failure is None`` means the
-    recording is clean.
+    recording is clean.  ``minimize_budget`` caps the ddmin phase's
+    replay count (the fuzzer bounds per-counterexample work this way).
     """
     if isinstance(source, Recording):
         recording, path = source, None
@@ -310,7 +312,10 @@ def explain_recording(
     if minimize and failure["type"] in ("violation", "decision_disagreement"):
         try:
             minimized = minimize_schedule(
-                _reproducer(recording, plan, failure), order, seqs
+                _reproducer(recording, plan, failure),
+                order,
+                seqs,
+                max_tests=minimize_budget,
             )
             payload["minimized"] = minimized.to_dict()
         except ValueError as exc:

@@ -260,6 +260,8 @@ GATE_EXCLUDED_SUBSTRINGS = (
     "new_rate",
     "runs_with_new",
     "baseline_signatures",
+    "novelty",
+    "corpus",
 )
 
 
@@ -296,13 +298,24 @@ def numeric_drifts(
     Unlike :func:`repro.experiments.store.compare_results` this only
     judges numeric leaves present in *both* payloads and skips the
     excluded (volatile) paths -- structure growth (a new field, a longer
-    table) is evolution, not regression.
+    table) is evolution, not regression.  A leaf flipping between NaN
+    and a number is a drift (a statistic appearing or vanishing is a
+    real change); a leaf that is NaN on *both* sides is skipped -- NaN
+    compares unequal to itself, so the naive tolerance check would
+    silently pass it forever (:func:`gate_trends` surfaces those as a
+    per-series note instead).
     """
     before = numeric_leaves(baseline)
     after = numeric_leaves(current)
     drifts = []
     for path in sorted(set(before) & set(after)):
         old, new = before[path], after[path]
+        old_nan, new_nan = old != old, new != new
+        if old_nan and new_nan:
+            continue
+        if old_nan or new_nan:
+            drifts.append(f"{path}: {old:g} -> {new:g} (NaN transition)")
+            continue
         tolerance = max(abs(old) * rel_tol, 1e-9)
         if abs(old - new) > tolerance:
             drifts.append(f"{path}: {old:g} -> {new:g} (beyond {rel_tol:.0%})")
@@ -425,7 +438,10 @@ def gate_trends(
     where ``series`` maps each name to its record count, drift list and
     per-series verdict.  An empty or missing store passes vacuously
     (``checked == 0``): the gate enforces trajectories once they exist,
-    it does not demand one on day zero.
+    it does not demand one on day zero.  Degenerate inputs are named
+    instead of silently passing: an empty store, a store where no series
+    has two records, and series whose shared leaves are all-NaN each get
+    a one-line diagnostic (``verdict["note"]`` / ``entry["note"]``).
     """
     verdict: dict[str, Any] = {
         "ok": True,
@@ -442,6 +458,8 @@ def gate_trends(
             entry["ok"] = True
             entry["note"] = "first record; nothing to diff"
         else:
+            before = numeric_leaves(window[0]["payload"])
+            after = numeric_leaves(window[-1]["payload"])
             drifts = numeric_drifts(
                 window[0]["payload"], window[-1]["payload"], rel_tol=rel_tol
             )
@@ -450,11 +468,35 @@ def gate_trends(
             verdict["checked"] += 1
             if drifts:
                 verdict["ok"] = False
+            shared = set(before) & set(after)
+            both_nan = sorted(
+                path for path in shared
+                if before[path] != before[path] and after[path] != after[path]
+            )
+            if both_nan:
+                entry["note"] = (
+                    f"{len(both_nan)} all-NaN leaf/leaves skipped "
+                    f"(e.g. {both_nan[0]})"
+                )
+            elif not shared:
+                entry["note"] = (
+                    "no numeric leaves shared between the window's records; "
+                    "nothing to diff"
+                )
         scalar = canonical_scalar(window) if len(window) > 1 else None
         if scalar:
             entry["tracking"] = scalar[0]
             entry["trend"] = scalar[1]
         verdict["series"][name] = entry
+    if not verdict["series"]:
+        verdict["note"] = (
+            f"trend store empty or missing at {store.path}; nothing to gate "
+            "(benchmarks and `repro check` append here as they run)"
+        )
+    elif verdict["checked"] == 0:
+        verdict["note"] = (
+            "no series has two records in the window yet; nothing to gate"
+        )
     return verdict
 
 
@@ -464,6 +506,8 @@ def format_gate(verdict: dict[str, Any]) -> str:
         f"trend gate: tolerance {verdict['tolerance']:.0%}, "
         f"window {verdict['window']}, {verdict['checked']} series checked"
     ]
+    if verdict.get("note"):
+        lines.append(f"  note: {verdict['note']}")
     for name, entry in verdict["series"].items():
         status = "ok" if entry["ok"] else "DRIFT"
         spark = sparkline(entry["trend"]) if "trend" in entry else ""

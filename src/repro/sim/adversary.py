@@ -41,6 +41,7 @@ __all__ = [
     "RandomScheduler",
     "ReplayScheduler",
     "Scheduler",
+    "ScriptedScheduleError",
     "ScriptedScheduler",
     "StaticCorruption",
     "TargetedDelayScheduler",
@@ -304,24 +305,85 @@ class TargetedDelayScheduler(Scheduler):
         return bucket.choose(self.rng)
 
 
+class ScriptedScheduleError(RuntimeError):
+    """A scripted schedule named a seq that cannot be delivered.
+
+    Raised with the offending seq and its script position, instead of the
+    bare ``KeyError``/``IndexError`` the kernel pool would produce --
+    hand-written schedules get a diagnosable failure naming the exact
+    script step that went wrong.
+    """
+
+
 class ScriptedScheduler(Scheduler):
     """Delivery order driven by an explicit choice sequence.
 
-    ``choices[i] mod |pool|`` indexes the in-flight set at step i; when
-    the script runs out, a deterministic fallback (index 0) applies.
-    Content-oblivious and therefore a legal delayed-adaptive adversary.
+    In the default *index* mode, ``choices[i] mod |pool|`` indexes the
+    in-flight set at step i; when the script runs out, a deterministic
+    fallback (index 0) applies.  Content-oblivious and therefore a legal
+    delayed-adaptive adversary.
 
     Built for property-based testing: hypothesis supplies the choice list
     and *shrinks it* on failure, turning "some schedule breaks the
     protocol" into a minimal counterexample schedule.
+
+    Pass ``seqs=[...]`` instead for *seq* mode: each script step names
+    the exact message seq to deliver.  A step naming a seq that was never
+    submitted, or one that was already delivered, raises
+    :class:`ScriptedScheduleError` describing the seq and the script
+    position (previously these surfaced as a bare ``KeyError`` out of the
+    kernel's in-flight map); after the script runs out, the index-0
+    fallback applies.
     """
 
-    def __init__(self, choices: Iterable[int]) -> None:
-        self._choices = list(choices)
+    wants_view = False
+
+    def __init__(
+        self,
+        choices: Iterable[int] | None = None,
+        *,
+        seqs: Iterable[int] | None = None,
+    ) -> None:
+        if choices is not None and seqs is not None:
+            raise ValueError("pass either index choices or exact seqs, not both")
+        self._choices = list(choices) if choices is not None else None
+        self._seqs = list(seqs) if seqs is not None else None
         self._position = 0
+        self._submitted: set[int] = set()
+        self._delivered: set[int] = set()
+
+    def on_submit(self, seq: int, view: EnvelopeView | None) -> None:
+        self._submitted.add(seq)
+
+    def on_submit_range(self, start: int, stop: int) -> None:
+        self._submitted.update(range(start, stop))
+
+    def on_delivered(self, seq: int) -> None:
+        self._delivered.add(seq)
+
+    def _choose_seq(self, pool: "SchedulerPool") -> int:
+        if self._position >= len(self._seqs):
+            return pool.seq_at(0)
+        position = self._position
+        seq = self._seqs[position]
+        self._position += 1
+        if seq in self._delivered:
+            raise ScriptedScheduleError(
+                f"script step {position} names seq {seq}, which was already "
+                "delivered"
+            )
+        if seq not in self._submitted:
+            raise ScriptedScheduleError(
+                f"script step {position} names seq {seq}, which was never "
+                f"submitted (highest submitted seq so far: "
+                f"{max(self._submitted) if self._submitted else 'none'})"
+            )
+        return seq
 
     def choose(self, pool: "SchedulerPool") -> int:
-        if self._position < len(self._choices):
+        if self._seqs is not None:
+            return self._choose_seq(pool)
+        if self._choices is not None and self._position < len(self._choices):
             index = self._choices[self._position] % len(pool)
             self._position += 1
         else:

@@ -78,6 +78,7 @@ __all__ = [
     "COVERAGE_SCHEMA_VERSION",
     "CoverageProbe",
     "coverage_from_events",
+    "signature_families",
     "signature_set",
 ]
 
@@ -493,6 +494,20 @@ def signature_set(snapshot: dict[str, Any]) -> set[str]:
     the :class:`~repro.experiments.coverage_atlas.CoverageAtlas`
     accumulates across runs."""
     return set(snapshot.get("signatures", ()))
+
+
+def signature_families(signatures) -> dict[str, int]:
+    """Signature count per family prefix (``race``, ``perm``, ...).
+
+    The family is everything before the first ``:``; the fuzzer's novelty
+    accounting uses this to tell "a new signature in a known family" from
+    "a family the corpus has never exhibited at all".
+    """
+    families: dict[str, int] = {}
+    for signature in signatures:
+        family = signature.split(":", 1)[0]
+        families[family] = families.get(family, 0) + 1
+    return dict(sorted(families.items()))
 
 
 def coverage_from_events(

@@ -129,6 +129,7 @@ def ddmin_deliveries(
     reproduce: ReproduceFn,
     order: Sequence[tuple[int, int]],
     seqs: Sequence[int],
+    max_tests: int | None = None,
 ) -> list[int]:
     """Greedy delta debugging over the delivery set (Zeller's ddmin).
 
@@ -136,16 +137,26 @@ def ddmin_deliveries(
     deliveries that survive complement reduction: every attempt to drop
     any single remaining delivery stops reproducing the failure.
     Assumes the full index set reproduces (callers establish that).
+
+    ``max_tests`` caps the number of ``reproduce`` calls spent in this
+    phase; on exhaustion the current (reproducing, possibly non-minimal)
+    index set is returned.  Batch minimizers -- the fuzzer shrinks every
+    counterexample it finds -- use it to bound per-candidate work.
     """
     current = list(range(len(order)))
+    spent = 0
 
     def test(indices: list[int]) -> bool:
+        nonlocal spent
+        spent += 1
         return reproduce(
             [order[i] for i in indices], [seqs[i] for i in indices]
         )
 
     chunks = 2
     while len(current) >= 2:
+        if max_tests is not None and spent >= max_tests:
+            break
         chunk = max(1, -(-len(current) // chunks))  # ceil division
         reduced = False
         for start in range(0, len(current), chunk):
@@ -169,19 +180,24 @@ def minimize_schedule(
     order: Sequence[tuple[int, int]],
     seqs: Sequence[int],
     prefix_only: bool = False,
+    max_tests: int | None = None,
 ) -> MinimizationResult:
     """Shrink a recorded schedule to the deliveries that matter.
 
     Phase 1 truncates (:func:`minimal_prefix`); phase 2 delta-debugs
     within the prefix (:func:`ddmin_deliveries`) unless ``prefix_only``.
     The returned schedule is verified reproducing by construction: every
-    accepted candidate passed ``reproduce``.
+    accepted candidate passed ``reproduce``.  ``max_tests`` bounds the
+    ddmin phase's replay budget (the prefix search is O(log n) and always
+    runs); the result is then reproducing but possibly non-minimal.
     """
     counted = _Counted(reproduce)
     prefix = minimal_prefix(counted, order, seqs)
     kept = list(range(prefix))
     if not prefix_only and prefix:
-        kept = ddmin_deliveries(counted, order[:prefix], seqs[:prefix])
+        kept = ddmin_deliveries(
+            counted, order[:prefix], seqs[:prefix], max_tests=max_tests
+        )
     return MinimizationResult(
         original=len(order),
         prefix=prefix,

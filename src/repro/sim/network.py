@@ -11,14 +11,24 @@ Correct processes are generator coroutines (see
 :mod:`repro.sim.process`); corrupted ones are driven by
 :class:`~repro.sim.byzantine.ByzantineBehavior` hooks.  Reliable links:
 nothing is ever dropped -- the adversary only reorders.
+
+:class:`LossyLinkConfig` relaxes the reliable-link assumption as a
+documented *model extension* (per-link drop/duplicate/reorder/corrupt
+rates, off by default, deterministic from the run seed).  With no config
+-- or an all-zero one -- the kernel is byte-identical to the reliable
+model.
 """
 
 from __future__ import annotations
 
+import copy
 import random
 import time
-from typing import Any, Callable
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import Any, Callable, Mapping
 
+from repro.crypto.hashing import derive_seed
 from repro.crypto.pki import PKI
 from repro.sim.adversary import Adversary, CorruptionStrategy, Scheduler
 from repro.sim.events import (
@@ -34,9 +44,191 @@ from repro.sim.messages import Envelope, EnvelopeView, Message
 from repro.sim.metrics import MetricsRecorder
 from repro.sim.process import ProcessContext, ProtocolFactory, Wait
 
-__all__ = ["EmptySchedulerPoolError", "SchedulerPool", "Simulation"]
+__all__ = [
+    "EmptySchedulerPoolError",
+    "LossyLinkConfig",
+    "SchedulerPool",
+    "Simulation",
+]
 
 DEFAULT_MAX_DELIVERIES = 2_000_000
+
+_FATE_RATE_FIELDS = ("drop_rate", "duplicate_rate", "reorder_rate", "corrupt_rate")
+
+
+@dataclass(frozen=True)
+class LossyLinkConfig:
+    """Lossy-link fault model: a documented *extension* of the paper's model.
+
+    The paper assumes reliable asynchronous links -- the adversary may
+    reorder arbitrarily but never loses a message.  This config relaxes
+    that per link.  Every submitted message is assigned at most one
+    *fate*, decided deterministically from the run seed and the message
+    seq (so lossy runs replay bit-for-bit):
+
+    ``drop``
+        The message never enters the scheduler pool.  The sender still
+        pays for it (metrics + SendEvent) -- the link ate it.  Drops can
+        legitimately deadlock a protocol that the reliable model keeps
+        live; that degradation is the experiment.
+    ``duplicate``
+        A second envelope with a fresh seq and the same payload is
+        injected.  Injected duplicates do not re-roll fates and are not
+        counted as protocol sends (the *network* pays, not the process).
+    ``reorder``
+        The message is held outside the pool until the delivery counter
+        advances by a bounded amount (``reorder_hold``), then released.
+        A lossy link may delay but cannot withhold forever: if the pool
+        empties while messages are held, the earliest is released early.
+    ``corrupt``
+        The destination receives a shallow copy of the payload with one
+        bit flipped in an integer field (never ``instance``).  Messages
+        with no eligible field are delivered intact.
+
+    All rates default to zero; an all-zero config leaves the kernel
+    byte-identical to a run without one.  ``per_link`` maps
+    ``(sender, dest)`` pairs to override configs (one level deep).
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    reorder_hold: int = 16
+    per_link: Mapping[tuple[int, int], "LossyLinkConfig"] | None = None
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in _FATE_RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+            total += rate
+        if total > 1.0 + 1e-9:
+            raise ValueError(
+                "fates are mutually exclusive: drop_rate + duplicate_rate + "
+                f"reorder_rate + corrupt_rate must be <= 1, got {total}"
+            )
+        if self.reorder_hold < 1:
+            raise ValueError(f"reorder_hold must be >= 1, got {self.reorder_hold}")
+        if self.per_link:
+            for link, config in self.per_link.items():
+                if config.per_link:
+                    raise ValueError(
+                        f"per_link override for {link} cannot itself carry "
+                        "per_link overrides"
+                    )
+
+    @property
+    def active(self) -> bool:
+        """True when any fate can actually fire (here or in an override)."""
+        if any(getattr(self, name) > 0.0 for name in _FATE_RATE_FIELDS):
+            return True
+        if self.per_link:
+            return any(config.active for config in self.per_link.values())
+        return False
+
+    def rates_for(self, sender: int, dest: int) -> "LossyLinkConfig":
+        """The effective config on the ``sender -> dest`` link."""
+        if self.per_link:
+            override = self.per_link.get((sender, dest))
+            if override is not None:
+                return override
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            name: getattr(self, name) for name in _FATE_RATE_FIELDS
+        }
+        payload["reorder_hold"] = self.reorder_hold
+        if self.per_link:
+            payload["per_link"] = {
+                f"{sender}->{dest}": config.to_dict()
+                for (sender, dest), config in sorted(self.per_link.items())
+            }
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LossyLinkConfig":
+        per_link = None
+        if data.get("per_link"):
+            per_link = {}
+            for key, sub in data["per_link"].items():
+                sender, _, dest = key.partition("->")
+                per_link[(int(sender), int(dest))] = cls.from_dict(sub)
+        return cls(
+            drop_rate=data.get("drop_rate", 0.0),
+            duplicate_rate=data.get("duplicate_rate", 0.0),
+            reorder_rate=data.get("reorder_rate", 0.0),
+            corrupt_rate=data.get("corrupt_rate", 0.0),
+            reorder_hold=data.get("reorder_hold", 16),
+            per_link=per_link,
+        )
+
+
+def _bit_corrupt(message: Message, rng: random.Random) -> Message | None:
+    """A shallow copy of ``message`` with one integer bit flipped.
+
+    Returns ``None`` when the message has no eligible field (no plain
+    ``int`` besides ``instance``, or the dataclass is frozen/slotted) --
+    the caller then delivers the original intact.
+    """
+    try:
+        fields = vars(message)
+    except TypeError:
+        return None
+    names = sorted(
+        name
+        for name, value in fields.items()
+        if name != "instance" and type(value) is int
+    )
+    if not names:
+        return None
+    name = names[rng.randrange(len(names))]
+    value = fields[name]
+    clone = copy.copy(message)
+    try:
+        setattr(clone, name, value ^ (1 << rng.randrange(max(value.bit_length(), 8))))
+    except AttributeError:
+        return None
+    return clone
+
+
+class _LossyState:
+    """Per-run lossy-link machinery: fate rolls, the reorder heap, counters."""
+
+    __slots__ = ("config", "_root", "drops", "duplicates", "reorders",
+                 "corruptions", "held")
+
+    def __init__(self, config: LossyLinkConfig, seed: int) -> None:
+        self.config = config
+        self._root = derive_seed(seed, "lossy")
+        self.drops = 0
+        self.duplicates = 0
+        self.reorders = 0
+        self.corruptions = 0
+        # Min-heap of (release_at_deliveries, seq, envelope): reordered
+        # messages waiting outside the scheduler pool.
+        self.held: list[tuple[int, int, Envelope]] = []
+
+    def fate(
+        self, seq: int, sender: int, dest: int
+    ) -> tuple[str, random.Random, LossyLinkConfig]:
+        """The fate of seq on this link, deterministic in (run seed, seq)."""
+        config = self.config.rates_for(sender, dest)
+        rng = random.Random(derive_seed(self._root, seq))
+        roll = rng.random()
+        for name, fate in (
+            ("drop_rate", "drop"),
+            ("duplicate_rate", "duplicate"),
+            ("reorder_rate", "reorder"),
+            ("corrupt_rate", "corrupt"),
+        ):
+            rate = getattr(config, name)
+            if roll < rate:
+                return fate, rng, config
+            roll -= rate
+        return "deliver", rng, config
 
 
 class EmptySchedulerPoolError(RuntimeError):
@@ -136,6 +328,14 @@ class Simulation:
         request.  Under ``profile=True`` the classic loop is used
         regardless, so the ``kernel.schedule``/``kernel.step`` timers
         keep their per-delivery meaning.
+    lossy:
+        Optional :class:`LossyLinkConfig` enabling the lossy-link model
+        extension.  ``None`` (default) or an all-zero config keeps the
+        kernel byte-identical to the reliable model.  An active config
+        forces the classic stepping loop (reorder holds are incompatible
+        with the batched drain contract, so batched mode falls back
+        cleanly) and does not record the ``kernel.schedule``/
+        ``kernel.step`` profile timers.
     """
 
     def __init__(
@@ -151,6 +351,7 @@ class Simulation:
         eager_wakeups: bool = False,
         profile: bool = False,
         delivery_mode: str = "classic",
+        lossy: LossyLinkConfig | None = None,
     ) -> None:
         if pki.n != n:
             raise ValueError("PKI size does not match n")
@@ -160,6 +361,10 @@ class Simulation:
             raise ValueError(
                 f"unknown delivery_mode {delivery_mode!r}; "
                 "expected 'classic' or 'batched'"
+            )
+        if lossy is not None and not isinstance(lossy, LossyLinkConfig):
+            raise TypeError(
+                f"lossy must be a LossyLinkConfig or None, got {type(lossy).__name__}"
             )
         self.n = n
         self.f = f
@@ -172,6 +377,12 @@ class Simulation:
         self.eager_wakeups = eager_wakeups
         self.profile = profile
         self.delivery_mode = delivery_mode
+        self.lossy = lossy
+        # Inactive configs compile to the exact reliable-model code paths:
+        # `self._lossy is None` is the only check the hot paths make.
+        self._lossy = (
+            _LossyState(lossy, seed) if lossy is not None and lossy.active else None
+        )
         self.metrics = MetricsRecorder()
         # The kernel event bus.  Emission sites read this list reference
         # directly: `if subscribers:` is the whole no-subscriber cost.
@@ -239,7 +450,15 @@ class Simulation:
     # -- kernel services used by ProcessContext ---------------------------------
 
     def submit(self, sender: int, dest: int, message: Message) -> None:
-        """Place a message on the reliable link from ``sender`` to ``dest``."""
+        """Place a message on the link from ``sender`` to ``dest``.
+
+        Links are reliable (the paper's model) unless an active
+        :class:`LossyLinkConfig` was installed, in which case the
+        message's fate is rolled in :meth:`_submit_lossy`.
+        """
+        if self._lossy is not None:
+            self._submit_lossy(sender, dest, message)
+            return
         if not 0 <= dest < self.n:
             raise ValueError(f"invalid destination {dest}")
         if not 0 <= sender < self.n:
@@ -299,6 +518,13 @@ class Simulation:
         kernel's hottest submission path.
         """
         n = self.n
+        if self._lossy is not None:
+            # Lossy runs take the per-destination path so every envelope
+            # rolls its own fate; the hoisted fast path below assumes the
+            # reliable model.
+            for dest in range(n):
+                self._submit_lossy(sender, dest, message)
+            return
         if not 0 <= sender < n:
             raise ValueError(f"invalid sender {sender}")
         ctx = self.contexts[sender]
@@ -368,6 +594,94 @@ class Simulation:
             # it past the destination loop is invisible -- the kernel only
             # consults the scheduler between deliveries, never mid-submit.
             scheduler.on_submit_range(first_seq, seq)
+
+    def _insert_in_flight(self, envelope: Envelope) -> None:
+        """Enter ``envelope`` into the scheduler pool (lossy paths only).
+
+        The same pool bookkeeping + scheduler callbacks :meth:`submit`
+        inlines; factored out so reordered envelopes can join the pool at
+        release time rather than submit time.
+        """
+        seq = envelope.seq
+        self._in_flight[seq] = envelope
+        self._seq_pos[seq] = len(self._seq_list)
+        self._seq_list.append(seq)
+        on_submit = self._submit_hook
+        if on_submit is not None:
+            on_submit(
+                seq,
+                EnvelopeView.of(envelope) if self._submit_wants_view else None,
+            )
+        scheduler = self.adversary.scheduler
+        if scheduler.content_aware:
+            inspect = getattr(scheduler, "inspect_payload", None)
+            if inspect is not None:
+                inspect(seq, envelope.payload, envelope.sender)
+
+    def _submit_lossy(
+        self, sender: int, dest: int, message: Message, injected: bool = False
+    ) -> None:
+        """:meth:`submit` under an active :class:`LossyLinkConfig`.
+
+        The envelope's fate is a deterministic function of (run seed,
+        seq).  ``injected`` marks the second copy of a duplicated
+        message: it takes a fresh seq but never re-rolls a fate (no
+        recursive duplication) and is not counted as a protocol send.
+        """
+        if not 0 <= dest < self.n:
+            raise ValueError(f"invalid destination {dest}")
+        if not 0 <= sender < self.n:
+            raise ValueError(f"invalid sender {sender}")
+        lossy = self._lossy
+        seq = self._next_seq
+        if injected:
+            fate, rng, config = "deliver", None, None
+        else:
+            fate, rng, config = lossy.fate(seq, sender, dest)
+        if fate == "corrupt":
+            corrupted_payload = _bit_corrupt(message, rng)
+            if corrupted_payload is not None:
+                message = corrupted_payload
+                lossy.corruptions += 1
+        ctx = self.contexts[sender]
+        envelope = Envelope(
+            seq,
+            sender,
+            dest,
+            message,
+            ctx.depth + 1,
+            sender not in self.corrupted,
+            self.deliveries,
+        )
+        self._next_seq = seq + 1
+        if not injected:
+            self.metrics.record_send(envelope)
+        if self._subscribers:
+            self.events.emit(
+                SendEvent(
+                    step=self.deliveries,
+                    seq=seq,
+                    sender=sender,
+                    dest=dest,
+                    instance=message.instance,
+                    message_kind=type(message).__name__,
+                    words=message.words(),
+                    depth=envelope.depth,
+                    sender_correct=envelope.sender_correct,
+                )
+            )
+        if fate == "drop":
+            lossy.drops += 1
+            return
+        if fate == "reorder":
+            lossy.reorders += 1
+            release_at = self.deliveries + 1 + rng.randrange(config.reorder_hold)
+            heappush(lossy.held, (release_at, seq, envelope))
+            return
+        self._insert_in_flight(envelope)
+        if fate == "duplicate":
+            lossy.duplicates += 1
+            self._submit_lossy(sender, dest, message, injected=True)
 
     def note_decision(self, pid: int) -> None:
         self.decided.add(pid)
@@ -591,7 +905,9 @@ class Simulation:
         restore_verify = self._install_verify_timers() if profile else None
         corruption_reacts = self._corruption_reacts
         try:
-            if self.delivery_mode == "batched" and not profile:
+            if self._lossy is not None:
+                self._run_lossy(scheduler, corruption)
+            elif self.delivery_mode == "batched" and not profile:
                 self._run_batched(scheduler, corruption)
             else:
                 while self._in_flight and self.deliveries < self.max_deliveries:
@@ -632,6 +948,40 @@ class Simulation:
             verify_base, self.pki.verification_counters()
         )
         return self
+
+    def _run_lossy(self, scheduler: Scheduler, corruption: CorruptionStrategy) -> None:
+        """The classic stepping loop with lossy-link fates applied.
+
+        Identical per-delivery semantics to the classic loop, plus the
+        reorder-release machinery: held envelopes enter the pool once the
+        delivery counter reaches their release point, and if the pool
+        empties while messages are still held, the earliest is released
+        immediately (a lossy link may delay but cannot withhold forever
+        -- only genuine drops can deadlock a run).  Batched draining is
+        skipped because a hold breaks the drain contract's commitment
+        semantics; schedulers of either mode run here unchanged.
+        """
+        lossy = self._lossy
+        held = lossy.held
+        corruption_reacts = self._corruption_reacts
+        while (self._in_flight or held) and self.deliveries < self.max_deliveries:
+            if self._should_stop():
+                self._stopped = True
+                break
+            while held and held[0][0] <= self.deliveries:
+                self._insert_in_flight(heappop(held)[2])
+            if not self._in_flight:
+                self._insert_in_flight(heappop(held)[2])
+            seq = scheduler.choose(self._pool)
+            envelope = self._remove_in_flight(seq)
+            scheduler.on_delivered(seq)
+            self._deliver(envelope)
+            if corruption_reacts and len(self.corrupted) < self.f:
+                view = EnvelopeView.of(envelope)
+                for pid in corruption.on_delivery(view, frozenset(self.corrupted)):
+                    self.corrupt(pid)
+        else:
+            self._stopped = self._should_stop()
 
     def _run_batched(self, scheduler: Scheduler, corruption: CorruptionStrategy) -> None:
         """The batched delivery loop (``delivery_mode="batched"``).
@@ -868,6 +1218,19 @@ class Simulation:
         return restore
 
     # -- post-run inspection ----------------------------------------------------
+
+    @property
+    def lossy_counters(self) -> dict[str, int]:
+        """How often each lossy-link fate fired (all zero when disabled)."""
+        state = self._lossy
+        if state is None:
+            return {"drops": 0, "duplicates": 0, "reorders": 0, "corruptions": 0}
+        return {
+            "drops": state.drops,
+            "duplicates": state.duplicates,
+            "reorders": state.reorders,
+            "corruptions": state.corruptions,
+        }
 
     @property
     def correct_pids(self) -> list[int]:

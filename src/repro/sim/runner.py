@@ -180,6 +180,7 @@ def run_protocol(
     eager_wakeups: bool = False,
     profile: bool = False,
     delivery_mode: str = "classic",
+    lossy: Any = None,
     subscribers: list[Callable[[Any], None]] | None = None,
     monitors: Any = None,
     telemetry: Any = None,
@@ -220,6 +221,12 @@ def run_protocol(
     processes, cumulative words by layer, latency quantiles -- call
     ``probe.snapshot()`` afterwards (see DESIGN.md section 9).
 
+    ``lossy`` attaches a :class:`~repro.sim.network.LossyLinkConfig`
+    enabling the lossy-link model *extension* (per-link drop / duplicate
+    / reorder / bit-corrupt fates, deterministic from ``seed``).  ``None``
+    or an all-zero config keeps the run byte-identical to the reliable
+    model; an active config forces classic stepping (see ``Simulation``).
+
     ``coverage`` attaches a :class:`~repro.sim.coverage.CoverageProbe`
     (another event-bus subscriber): the probe folds the run into its
     schedule-coverage signature set -- which races resolved which way,
@@ -253,6 +260,7 @@ def run_protocol(
         eager_wakeups=eager_wakeups,
         profile=profile,
         delivery_mode=delivery_mode,
+        lossy=lossy,
     )
     for subscriber in subscribers or ():
         simulation.events.subscribe(subscriber)

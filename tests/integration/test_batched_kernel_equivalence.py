@@ -112,7 +112,9 @@ def run_ba(protocol: str, scheduler_name: str, seed: int, mode: str,
 
 
 @pytest.mark.parametrize("protocol", ["whp_ba", "mmr+alg1"])
-@pytest.mark.parametrize("scheduler", ["fifo", "delay", "random"])
+@pytest.mark.parametrize(
+    "scheduler", ["fifo", "delay", "random", "partition", "targeted"]
+)
 class TestAgreementMatrix:
     def test_batched_equals_classic(self, protocol, scheduler):
         classic = run_ba(protocol, scheduler, seed=7, mode="classic")
@@ -123,7 +125,9 @@ class TestAgreementMatrix:
 
 
 class TestEventStreamIdentity:
-    @pytest.mark.parametrize("scheduler", ["fifo", "delay"])
+    @pytest.mark.parametrize(
+        "scheduler", ["fifo", "delay", "partition", "targeted"]
+    )
     def test_full_event_stream_identical(self, scheduler):
         """Not just the aggregates: the *entire* event sequence (sends,
         deliveries, wait blocks/wakes, decides) matches event for event,

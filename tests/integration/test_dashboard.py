@@ -180,6 +180,85 @@ class TestTrendGate:
         assert "GATE: FAIL" in format_gate(verdict)
 
 
+class TestTrendGateDiagnostics:
+    """Satellite: degenerate gate inputs get a one-line diagnosis instead
+    of a bare vacuous PASS."""
+
+    def test_empty_store_names_the_missing_path(self, tmp_path):
+        store = TrendStore(tmp_path)
+        verdict = gate_trends(store, rel_tol=0.25)
+        assert verdict["ok"] is True and verdict["checked"] == 0
+        assert "trend store empty or missing" in verdict["note"]
+        assert str(store.path) in verdict["note"]
+        assert f"note: {verdict['note']}" in format_gate(verdict)
+
+    def test_single_record_series_is_named_not_counted(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"words": 100}, ts=1.0)
+        verdict = gate_trends(store, rel_tol=0.25)
+        assert verdict["ok"] is True and verdict["checked"] == 0
+        assert verdict["note"] == (
+            "no series has two records in the window yet; nothing to gate"
+        )
+        entry = verdict["series"]["bench"]
+        assert entry["note"] == "first record; nothing to diff"
+        assert "(first record; nothing to diff)" in format_gate(verdict)
+
+    def test_nan_transition_is_a_drift(self):
+        drifts = numeric_drifts(
+            {"rate": float("nan")}, {"rate": 1.0}, rel_tol=0.25
+        )
+        assert drifts == ["$.rate: nan -> 1 (NaN transition)"]
+        # ...in either direction.
+        assert numeric_drifts(
+            {"rate": 1.0}, {"rate": float("nan")}, rel_tol=0.25
+        ) == ["$.rate: 1 -> nan (NaN transition)"]
+
+    def test_all_nan_leaves_are_skipped_with_a_note(self, tmp_path):
+        # store.append maps NaN to null (to_jsonable), so a NaN-bearing
+        # journal comes from an external writer -- simulate one directly.
+        store = TrendStore(tmp_path)
+        lines = [
+            json.dumps({
+                "schema": "repro.trends", "version": 1, "name": "bench",
+                "ts": ts, "payload": {"rate": float("nan"), "words": words},
+            })
+            for ts, words in ((1.0, 7), (2.0, 8))
+        ]
+        store.path.write_text("\n".join(lines) + "\n")
+        verdict = gate_trends(store, rel_tol=0.25)
+        assert verdict["ok"] is True and verdict["checked"] == 1
+        entry = verdict["series"]["bench"]
+        assert entry["ok"] is True
+        assert "all-NaN" in entry["note"] and "$.rate" in entry["note"]
+
+    def test_no_shared_leaves_is_named(self, tmp_path):
+        store = TrendStore(tmp_path)
+        store.append("bench", {"old_metric": 1}, ts=1.0)
+        store.append("bench", {"new_metric": 2}, ts=2.0)
+        verdict = gate_trends(store, rel_tol=0.25)
+        entry = verdict["series"]["bench"]
+        assert entry["ok"] is True
+        assert entry["note"] == (
+            "no numeric leaves shared between the window's records; "
+            "nothing to diff"
+        )
+
+    def test_fuzz_novelty_counters_not_gated(self):
+        # Fuzz campaigns nest all atlas-dependent counters under
+        # "novelty"; a second campaign legitimately finds fewer novel
+        # signatures, which must not read as a regression.
+        before = {"budget": 200, "novelty": {"new_signatures": 9}}
+        after = {"budget": 200, "novelty": {"new_signatures": 0}}
+        assert numeric_drifts(before, after, rel_tol=0.25) == []
+
+    def test_trends_cli_reports_missing_store(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trends", "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "note: trend store empty or missing" in out
+
+
 class TestTrendsWindow:
     """Satellite: `--last N` widens the sparkline/drift window."""
 

@@ -10,6 +10,7 @@ from repro.sim.adversary import (
     Adversary,
     PartitionScheduler,
     ReplayScheduler,
+    ScriptedScheduleError,
     ScriptedScheduler,
 )
 from repro.sim.byzantine import SilentBehavior
@@ -73,6 +74,63 @@ class TestScriptedScheduler:
     def test_exhausted_script_falls_back_to_first(self):
         scheduler = ScriptedScheduler([])
         assert scheduler.choose(FakePool([42, 43])) == 42
+
+    def test_choices_and_seqs_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            ScriptedScheduler([0, 1], seqs=[10, 11])
+
+
+class TestScriptedSchedulerSeqMode:
+    def test_seq_mode_delivers_the_named_seqs(self):
+        scheduler = ScriptedScheduler(seqs=[11, 10])
+        scheduler.on_submit(10, None)
+        scheduler.on_submit(11, None)
+        assert scheduler.choose(FakePool([10, 11])) == 11
+        scheduler.on_delivered(11)
+        assert scheduler.choose(FakePool([10])) == 10
+
+    def test_exhausted_seqs_fall_back_to_first(self):
+        scheduler = ScriptedScheduler(seqs=[10])
+        scheduler.on_submit(10, None)
+        scheduler.on_submit(11, None)
+        assert scheduler.choose(FakePool([10, 11])) == 10
+        scheduler.on_delivered(10)
+        assert scheduler.choose(FakePool([11])) == 11
+
+    def test_already_delivered_seq_names_the_script_step(self):
+        scheduler = ScriptedScheduler(seqs=[10, 10])
+        scheduler.on_submit(10, None)
+        assert scheduler.choose(FakePool([10])) == 10
+        scheduler.on_delivered(10)
+        with pytest.raises(
+            ScriptedScheduleError,
+            match=r"script step 1 names seq 10, which was already delivered",
+        ):
+            scheduler.choose(FakePool([11]))
+
+    def test_never_submitted_seq_names_the_step_and_hints(self):
+        scheduler = ScriptedScheduler(seqs=[99])
+        scheduler.on_submit(10, None)
+        scheduler.on_submit(11, None)
+        with pytest.raises(
+            ScriptedScheduleError,
+            match=r"script step 0 names seq 99, which was never submitted "
+                  r"\(highest submitted seq so far: 11\)",
+        ):
+            scheduler.choose(FakePool([10, 11]))
+
+    def test_never_submitted_with_empty_pool_history(self):
+        scheduler = ScriptedScheduler(seqs=[7])
+        with pytest.raises(
+            ScriptedScheduleError,
+            match=r"highest submitted seq so far: none",
+        ):
+            scheduler.choose(FakePool([]))
+
+    def test_submit_range_counts_as_submitted(self):
+        scheduler = ScriptedScheduler(seqs=[12])
+        scheduler.on_submit_range(10, 15)
+        assert scheduler.choose(FakePool([10, 11, 12, 13, 14])) == 12
 
 
 class TestReplaySchedulerUnits:
