@@ -1,0 +1,115 @@
+"""Degradation sweep determinism + timing (see DESIGN.md section 14).
+
+What must reproduce: the degradation observatory's acceptance property --
+the same ``(scenario, n, rates, seeds)`` sweep always yields the *same
+curve JSON*.  Lossy fates are functions of (run seed, envelope seq) and
+the payload carries no timestamps, so any nondeterminism here means a
+kernel or scenario regression, not noise.  The bench runs the sweep
+twice and asserts byte-equal serializations, then sanity-checks the
+curve's shape: a monotone hostility axis, a healthy rate-0 point, and a
+knee whenever the decide-rate actually crossed the threshold.
+
+Run standalone for CI smoke::
+
+    PYTHONPATH=src python benchmarks/bench_degradation.py --smoke
+
+The smoke run records the same ``degradation`` trend-series payload as
+``python -m repro degrade --smoke`` (the journal dedupes the twin), so
+either entry point keeps ``repro trends --gate`` fed.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.experiments.degradation import (
+    format_degradation,
+    smoke_degradation,
+    sweep_degradation,
+)
+
+FULL = dict(scenario="lossy_uniform", n=8, rates=(0.0, 0.05, 0.1), seeds=4)
+
+
+def _sweep(smoke: bool) -> dict:
+    return smoke_degradation() if smoke else sweep_degradation(**FULL)
+
+
+def run_degradation(smoke: bool = False) -> tuple[str, dict]:
+    started = time.perf_counter()
+    payload = _sweep(smoke)
+    first_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    twin = _sweep(smoke)
+    second_s = time.perf_counter() - started
+    first_json = json.dumps(payload, sort_keys=True)
+    assert first_json == json.dumps(twin, sort_keys=True), (
+        "degradation sweep is nondeterministic: same (scenario, n, rates, "
+        "seeds) produced different curve JSON"
+    )
+
+    points = payload["points"]
+    rates = [point["rate"] for point in points]
+    assert rates == sorted(rates) and len(points) >= 2
+    assert points[0]["rate"] == 0.0 and points[0]["link_faults"] == {
+        "drops": 0, "duplicates": 0, "reorders": 0, "corruptions": 0,
+    }, "rate-0 point must be fault-free"
+    crossed = any(
+        point["decide_rate"] < payload["threshold"] for point in points
+    )
+    assert (payload["knee"] is not None) == crossed
+
+    lines = [
+        format_degradation(payload),
+        "",
+        f"determinism: two sweeps, identical {len(first_json)}-byte JSON "
+        f"({first_s:.2f} s + {second_s:.2f} s)",
+    ]
+    summary = dict(payload)
+    summary["wallclock"] = {  # excluded from gating: machine-dependent
+        "first_sweep_s": first_s,
+        "second_sweep_s": second_s,
+    }
+    return "\n".join(lines), summary
+
+
+def test_degradation(benchmark, save_report):
+    from conftest import once
+
+    report, _ = once(benchmark, lambda: run_degradation(smoke=False))
+    save_report("bench_degradation", report)
+
+
+def main(argv: list[str]) -> int:
+    import argparse
+    from pathlib import Path
+
+    from repro.experiments.trends import record_bench
+
+    parser = argparse.ArgumentParser(
+        description="Assert degradation-sweep determinism and time it."
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized sweep (2 rates x 2 seeds); feeds the trend store",
+    )
+    smoke = parser.parse_args(argv).smoke
+    report, summary = run_degradation(smoke=smoke)
+    print(report)
+    if smoke:
+        # Record the raw sweep payload (not the timed summary): it must
+        # fingerprint identically to `python -m repro degrade --smoke`.
+        payload = {
+            key: value for key, value in summary.items() if key != "wallclock"
+        }
+        repo_root = Path(__file__).resolve().parent.parent
+        path, _ = record_bench("degradation", payload, root=repo_root)
+        print(f"trend record -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

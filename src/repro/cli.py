@@ -42,6 +42,14 @@ the schedule fuzzer (see DESIGN.md section 13)::
                                              # violations outside the
                                              # recording's own baseline
 
+the degradation observatory (see DESIGN.md section 14)::
+
+    python -m repro degrade --scenario lossy_uniform \
+        --rates 0,0.02,0.05,0.1 --seeds 8   # decide-rate curves + knee;
+                                            # failing cells export
+                                            # recordings for `explain`
+    python -m repro degrade --smoke          # CI shape, feeds the trend store
+
 and the telemetry pane (see DESIGN.md section 9)::
 
     python -m repro dashboard flight.jsonl --out dashboard.html
@@ -173,14 +181,19 @@ def _run_record(args) -> str:
     from repro.sim.telemetry import telemetry_path_for
 
     out = args.out or f"flight_{args.protocol}_n{args.n or 40}_s{args.seed}.jsonl"
-    path, result = report.record_run(
-        out,
-        name=args.protocol,
-        n=args.n or 40,
-        seed=args.seed,
-        profile=not args.no_profile,
-        telemetry=not args.no_telemetry,
-    )
+    try:
+        path, result = report.record_run(
+            out,
+            name=args.protocol,
+            n=args.n or 40,
+            seed=args.seed,
+            profile=not args.no_profile,
+            telemetry=not args.no_telemetry,
+        )
+    except ValueError as exc:
+        # Most commonly an unknown --protocol; the message lists the
+        # protocols and the self-describing scenario zoo.
+        raise SystemExit(f"repro record: {exc}")
     text = (
         f"recorded {result.deliveries} deliveries "
         f"(duration {result.duration}, {result.words} words, "
@@ -386,6 +399,52 @@ def _run_coverage(args) -> tuple[str, int]:
         raise SystemExit(f"repro coverage: {exc}")
 
 
+def _run_degrade(args) -> tuple[str, int]:
+    from repro.experiments import degradation
+    from repro.experiments.trends import record_bench
+
+    if args.smoke:
+        # The CI configuration: tiny, deterministic, and the one shape
+        # that feeds the trend store's `degradation` series (full sweeps
+        # vary by config, so gating them against each other would flag
+        # every parameter change as drift).
+        payload = degradation.smoke_degradation()
+        snapshot, _ = record_bench("degradation", payload)
+        text = degradation.format_degradation(payload)
+        return text + f"\n[degradation trends -> {snapshot}]", 0
+    scenario = args.scenario or "lossy_uniform"
+    try:
+        rates = (
+            [float(token) for token in args.rates.split(",") if token.strip()]
+            if args.rates
+            else list(degradation.DEFAULT_RATES)
+        )
+    except ValueError:
+        raise SystemExit(
+            f"repro degrade: --rates must be comma-separated numbers, "
+            f"got {args.rates!r}"
+        )
+    from pathlib import Path
+
+    from repro.experiments.scenarios import parse_scenario_name
+
+    try:
+        base, _ = parse_scenario_name(scenario)
+        out = args.out or f"degradation_{base}.json"
+        payload = degradation.sweep_degradation(
+            scenario=scenario,
+            n=args.n or 8,
+            rates=rates,
+            seeds=args.seeds or 8,
+            export_dir=str(Path(out).with_suffix("")) + "_cells",
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro degrade: {exc}")
+    path = degradation.save_degradation(out, payload)
+    text = degradation.format_degradation(payload)
+    return text + f"\n[curve artifact -> {path}]", 0
+
+
 def _run_trends(args) -> tuple[str, int]:
     from repro.experiments import trends
 
@@ -430,7 +489,8 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         choices=[
             *COMMANDS, "record", "report", "export", "diff", "explain",
-            "fuzz", "check", "trends", "coverage", "dashboard", "all", "list",
+            "fuzz", "check", "trends", "coverage", "dashboard", "degrade",
+            "all", "list",
         ],
     )
     parser.add_argument(
@@ -491,6 +551,19 @@ def main(argv: list[str] | None = None) -> int:
         "--slice", type=int, default=None,
         help="diff/explain: max causal-slice length (default 20)",
     )
+    parser.add_argument(
+        "--scenario", default=None,
+        help="degrade: zoo scenario to sweep (default lossy_uniform; "
+        "accepts a @rate suffix to pin the rate)",
+    )
+    parser.add_argument(
+        "--rates", default=None,
+        help="degrade: comma-separated hostility rates (default 0,0.02,0.05,0.1)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="degrade: tiny fixed sweep feeding the trend store (CI shape)",
+    )
     parser.add_argument("--quick", action="store_true", help="smoke-scale parameters")
     parser.add_argument(
         "--workers", type=int, default=None,
@@ -512,6 +585,7 @@ def main(argv: list[str] | None = None) -> int:
         print("  trends  cross-run drift tables (--gate exits 1 on drift)")
         print("  coverage  schedule-coverage atlas views (--gate: stagnation)")
         print("  dashboard  single-pane HTML report (telemetry+trends+conformance)")
+        print("  degrade  lossy-rate sweep over a zoo scenario (curves + knee)")
         return 0
 
     if args.command in ("record", "report", "export", "dashboard"):
@@ -522,9 +596,10 @@ def main(argv: list[str] | None = None) -> int:
         print(handler(args))
         return 0
 
-    if args.command in ("diff", "explain", "fuzz"):
+    if args.command in ("diff", "explain", "fuzz", "degrade"):
         handler = {
             "diff": _run_diff, "explain": _run_explain, "fuzz": _run_fuzz,
+            "degrade": _run_degrade,
         }[args.command]
         text, code = handler(args)
         print(text)

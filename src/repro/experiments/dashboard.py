@@ -23,6 +23,10 @@ around:
 * **fuzzing campaign** from the newest ``fuzzing`` trend record
   (written by ``repro fuzz``): candidate yield, corpus growth, new
   signature families and any counterexample bundles.
+* **degradation curves** from the newest ``degradation_*.json`` sweep
+  artifact (written by ``repro degrade``), falling back to the trend
+  store's ``degradation`` smoke series: outcome fractions and word
+  counts vs hostility rate, with the estimated knee marked.
 * **schedule coverage** from ``BENCH_coverage_atlas.jsonl``
   (:mod:`repro.experiments.coverage_atlas`): atlas growth, new
   signatures per run, rarest-hit signatures.
@@ -609,6 +613,189 @@ def _scaling_section(store: TrendStore, diagnostics: list[str]) -> str:
     )
 
 
+def _rate_chart(
+    series: dict[str, tuple[list[float], list[float]]],
+    knee_rate: float | None,
+    width: int = 420,
+    height: int = 160,
+    title: str = "",
+) -> str:
+    """Fraction-vs-rate curves on a shared [0, 1] y-scale + knee marker.
+
+    Unlike :func:`_line_chart` (which normalizes each polyline to its own
+    range -- fine for magnitudes, misleading for rates), every series
+    here shares the fixed [0, 1] domain, so "decide rate crosses
+    deadlock fraction" reads directly off the pane.  The knee, when
+    estimated, renders as a dashed vertical marker at its rate.
+    """
+    drawn = {name: (xs, ys) for name, (xs, ys) in series.items() if xs and ys}
+    if not drawn:
+        return "<p class='diag'>(no data points)</p>"
+    pad = 6
+    all_xs = [x for xs, _ in drawn.values() for x in xs]
+    x_lo, x_hi = min(all_xs), max(all_xs)
+    x_span = (x_hi - x_lo) or 1.0
+
+    def px(x: float) -> float:
+        return pad + (x - x_lo) / x_span * (width - 2 * pad)
+
+    def py(y: float) -> float:
+        return height - pad - max(0.0, min(1.0, y)) * (height - 2 * pad)
+
+    parts = [
+        f"<div class='chart-title'>{_esc(title)}</div>" if title else "",
+        f"<svg width='{width}' height='{height}' viewBox='0 0 {width} {height}'"
+        " role='img'>",
+    ]
+    for index, (name, (xs, ys)) in enumerate(drawn.items()):
+        color = _PALETTE[index % len(_PALETTE)]
+        points = " ".join(
+            f"{px(x):.1f},{py(y):.1f}" for x, y in zip(xs, ys)
+        )
+        parts.append(
+            f"<polyline fill='none' stroke='{color}' stroke-width='1.5' "
+            f"points='{points}'/>"
+        )
+    if knee_rate is not None and x_lo <= knee_rate <= x_hi:
+        marker = px(knee_rate)
+        parts.append(
+            f"<line x1='{marker:.1f}' y1='{pad}' x2='{marker:.1f}' "
+            f"y2='{height - pad}' stroke='#c92a2a' stroke-width='1' "
+            "stroke-dasharray='4 3'/>"
+            f"<text x='{marker + 3:.1f}' y='{pad + 9}' font-size='9' "
+            f"fill='#c92a2a'>knee {knee_rate:g}</text>"
+        )
+    parts.append(
+        "<text x='4' y='12' font-size='9' fill='#888'>1</text>"
+        f"<text x='4' y='{height - 2}' font-size='9' fill='#888'>0</text>"
+        f"<text x='{width - 4}' y='{height - 2}' font-size='9' fill='#888' "
+        f"text-anchor='end'>rate={_fmt(x_hi)}</text>"
+    )
+    parts.append("</svg>")
+    legend = " &middot; ".join(
+        f"<span style='color:{_PALETTE[i % len(_PALETTE)]}'>&#9632;</span> "
+        f"{_esc(name)}"
+        for i, name in enumerate(drawn)
+    )
+    parts.append(f"<div class='legend'>{legend}</div>")
+    return "".join(part for part in parts if part)
+
+
+def _degradation_section(
+    degradation: dict[str, Any] | None,
+    degradation_path: str | Path | None,
+    store: TrendStore,
+    diagnostics: list[str],
+) -> str:
+    source = degradation_path
+    if degradation is None:
+        # No standalone sweep artifact: fall back to the trend store's
+        # `degradation` series (the CI smoke sweep).
+        try:
+            latest = store.latest("degradation")
+        except ValueError:
+            latest = None
+        if latest is not None:
+            degradation = latest["payload"]
+            source = "trend store: degradation (smoke sweep)"
+    if degradation is None:
+        message = (
+            "no degradation sweep (run `python -m repro degrade "
+            "--scenario lossy_uniform`)"
+        )
+        diagnostics.append(message)
+        return (
+            "<section id='degradation'><h2>Degradation curves</h2>"
+            f"{_diag(message)}</section>"
+        )
+    points = degradation.get("points") or []
+    xs = [float(p.get("rate", 0.0)) for p in points]
+
+    def fraction(key: str) -> list[float]:
+        return [float(p.get(key) or 0.0) for p in points]
+
+    knee = degradation.get("knee")
+    knee_rate = knee.get("rate") if isinstance(knee, dict) else None
+    fraction_chart = _rate_chart(
+        {
+            "decide rate": (xs, fraction("decide_rate")),
+            "deadlock": (xs, fraction("deadlock_fraction")),
+            "exhausted": (xs, fraction("exhausted_fraction")),
+            "whp anomaly": (xs, fraction("whp_anomaly_rate")),
+        },
+        knee_rate,
+        title=(
+            f"{degradation.get('scenario')}: outcome fractions vs "
+            "hostility rate"
+        ),
+    )
+    words_chart = _line_chart(
+        {
+            "words sent": (
+                xs, [float(p.get("words_sent_mean") or 0.0) for p in points]
+            ),
+            "words delivered": (
+                xs,
+                [float(p.get("words_delivered_mean") or 0.0) for p in points],
+            ),
+        },
+        width=420,
+        height=160,
+        title="mean words vs hostility rate (correct senders / delivered)",
+    )
+    if knee is None:
+        knee_line = (
+            "<p class='ok'>no knee: decide-rate stayed at or above "
+            f"{_fmt(degradation.get('threshold'))} across the swept rates</p>"
+        )
+    else:
+        low, high = knee.get("decide_rate_interval", (None, None))
+        knee_line = (
+            f"<p class='drift'>knee at rate {_fmt(knee.get('rate'))}: "
+            f"decide-rate {_fmt(knee.get('decide_rate'))} "
+            f"(95% CI [{_fmt(low)}, {_fmt(high)}]) fell below "
+            f"{_fmt(knee.get('threshold'))}</p>"
+        )
+    rows = []
+    for point in points:
+        coin = point.get("coin_success_rate") or {}
+        faults = point.get("link_faults") or {}
+        rows.append(
+            f"<tr><td>{_fmt(point.get('rate'))}</td>"
+            f"<td>{_fmt(point.get('decide_rate'))}</td>"
+            f"<td>{_fmt(point.get('deadlock_fraction'))}</td>"
+            f"<td>{_fmt(point.get('whp_anomaly_rate'))}</td>"
+            f"<td>{_fmt(coin.get('median', ''))}</td>"
+            f"<td>{_fmt(point.get('words_sent_mean'))}</td>"
+            f"<td>{_fmt(point.get('words_delivered_mean'))}</td>"
+            f"<td>{_fmt(faults.get('drops', 0))}/"
+            f"{_fmt(faults.get('duplicates', 0))}/"
+            f"{_fmt(faults.get('reorders', 0))}/"
+            f"{_fmt(faults.get('corruptions', 0))}</td></tr>"
+        )
+    table = (
+        "<table><tr><th>rate</th><th>decide</th><th>deadlock</th>"
+        "<th>whp!</th><th>coin ok (med)</th><th>words sent</th>"
+        "<th>delivered</th><th>faults d/u/r/c</th></tr>"
+        + "".join(rows)
+        + "</table>"
+        if rows
+        else ""
+    )
+    return (
+        "<section id='degradation'><h2>Degradation curves</h2>"
+        f"<p>{_esc(source)} &mdash; scenario="
+        f"{_esc(degradation.get('scenario'))} "
+        f"n={_fmt(degradation.get('n'))} f={_fmt(degradation.get('f'))} "
+        f"seeds={_fmt(degradation.get('seeds'))}/rate</p>"
+        f"<div class='charts'><div>{fraction_chart}</div>"
+        f"<div>{words_chart}</div></div>"
+        + knee_line
+        + table
+        + "</section>"
+    )
+
+
 # -- assembly ----------------------------------------------------------------
 
 
@@ -620,6 +807,8 @@ def build_dashboard(
     atlas: Any = None,
     divergence: dict[str, Any] | None = None,
     divergence_path: str | Path | None = None,
+    degradation: dict[str, Any] | None = None,
+    degradation_path: str | Path | None = None,
     rel_tol: float = 0.25,
     title: str = "repro dashboard",
     notes: list[str] | None = None,
@@ -641,6 +830,9 @@ def build_dashboard(
         _conformance_section(store, diagnostics),
         _divergence_section(divergence, divergence_path, diagnostics),
         _fuzzing_section(store, diagnostics),
+        _degradation_section(
+            degradation, degradation_path, store, diagnostics
+        ),
         _coverage_section(atlas, diagnostics),
         _scaling_section(store, diagnostics),
     ]
@@ -712,6 +904,21 @@ def render_dashboard(
         except (OSError, ValueError) as exc:
             diagnostics.append(f"divergence report unusable: {exc}")
             divergence_path = None
+    degradation = None
+    degradation_path = None
+    sweeps = sorted(
+        Path(root).glob("degradation_*.json"),
+        key=lambda p: p.stat().st_mtime,
+    )
+    if sweeps:
+        import json
+
+        degradation_path = sweeps[-1]
+        try:
+            degradation = json.loads(degradation_path.read_text())
+        except (OSError, ValueError) as exc:
+            diagnostics.append(f"degradation sweep unusable: {exc}")
+            degradation_path = None
     document, build_diags = build_dashboard(
         recording=recording,
         recording_path=recording_path,
@@ -720,6 +927,8 @@ def render_dashboard(
         atlas=CoverageAtlas(root),
         divergence=divergence,
         divergence_path=divergence_path,
+        degradation=degradation,
+        degradation_path=degradation_path,
         rel_tol=rel_tol,
         notes=diagnostics,
     )

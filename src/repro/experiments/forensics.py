@@ -27,7 +27,11 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.experiments.protocols import PROTOCOLS, make_runner
-from repro.experiments.scenarios import SCENARIOS, make_scenario
+from repro.experiments.scenarios import (
+    SCENARIOS,
+    is_scenario,
+    make_scenario,
+)
 from repro.sim.adversary import Adversary, ReplayScheduler, StaticCorruption
 from repro.sim.diffing import (
     DEFAULT_MAX_SLICE,
@@ -58,6 +62,7 @@ class _RunPlan:
         corruption,
         behavior_factory,
         stop_condition,
+        lossy=None,
     ) -> None:
         self.name = name
         self.factory = factory
@@ -65,6 +70,10 @@ class _RunPlan:
         self.corruption = corruption
         self.behavior_factory = behavior_factory
         self.stop_condition = stop_condition
+        # The scenario's LossyLinkConfig (None for the reliable model).
+        # Fates are deterministic in (seed, seq), so replays and fuzz
+        # mutations must carry the config to reproduce the faults.
+        self.lossy = lossy
 
 
 def resolve_protocol(recording: Recording, protocol: str | None = None) -> str:
@@ -81,9 +90,10 @@ def resolve_protocol(recording: Recording, protocol: str | None = None) -> str:
             "recording has no protocol name in its header; pass --protocol "
             f"(one of {PROTOCOLS + SCENARIOS})"
         )
-    if name not in PROTOCOLS and name not in SCENARIOS:
+    if name not in PROTOCOLS and not is_scenario(name):
         raise ValueError(
-            f"unknown protocol {name!r}; one of {PROTOCOLS + SCENARIOS}"
+            f"unknown protocol {name!r}; one of {PROTOCOLS + SCENARIOS} "
+            "(scenarios also accept a rate suffix, e.g. lossy_uniform@0.1)"
         )
     return name
 
@@ -91,7 +101,7 @@ def resolve_protocol(recording: Recording, protocol: str | None = None) -> str:
 def _plan(recording: Recording, name: str) -> _RunPlan:
     header = recording.header
     n, f, seed = header["n"], header["f"], header["seed"]
-    if name in SCENARIOS:
+    if is_scenario(name):
         spec = make_scenario(name, n, f=f, seed=seed)
         return _RunPlan(
             name,
@@ -100,6 +110,7 @@ def _plan(recording: Recording, name: str) -> _RunPlan:
             spec.corruption,
             spec.behavior_factory,
             spec.stop_condition,
+            lossy=spec.lossy,
         )
     factory, params, _ = make_runner(name, n, f=f, seed=seed)
     return _RunPlan(
@@ -135,6 +146,7 @@ def _execute(
         params=plan.params,
         stop_condition=plan.stop_condition,
         max_deliveries=len(order),
+        lossy=plan.lossy,
         subscribers=[recorder.on_event] if recorder is not None else None,
         monitors=monitors,
     )

@@ -267,7 +267,12 @@ def fuzz_recording(
     }
 
     # -- the seed candidate: baseline violations + seed coverage ----------------
-    seed_candidate = FuzzCandidate(order=base_order, seqs=base_seqs)
+    # Zoo scenarios carry a lossy config; the seed candidate must inherit
+    # it or the recorded schedule is unrealizable (the fates that shaped
+    # the recording never fire on replay).
+    seed_candidate = FuzzCandidate(
+        order=base_order, seqs=base_seqs, lossy=plan.lossy
+    )
     seed_suite = MonitorSuite()
     seed_probe = CoverageProbe()
     try:

@@ -21,12 +21,13 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any
 
-import random
-
-from repro.crypto.hashing import derive_seed
-from repro.experiments.protocols import make_runner
-from repro.experiments.scenarios import SCENARIOS, make_scenario
-from repro.sim.adversary import Adversary, RandomScheduler
+from repro.experiments.protocols import PROTOCOLS, make_runner
+from repro.experiments.scenarios import (
+    describe_scenarios,
+    is_scenario,
+    make_scenario,
+    scenario_adversary,
+)
 from repro.sim.events import DeliverEvent, SendEvent
 from repro.sim.flightrecorder import (
     FlightRecorder,
@@ -70,9 +71,11 @@ def record_run(
     sidecar next to the recording (the dashboard's preferred source).
 
     ``name`` may also be a :mod:`repro.experiments.scenarios` entry
-    (e.g. ``byz_split``): the run then uses the scenario's scripted
-    Byzantine adversary -- a deliberately broken run whose recording
-    feeds ``python -m repro explain``.
+    (e.g. ``byz_split``, or a rate-suffixed ``lossy_uniform@0.1``): the
+    run then faces the scenario's adversary and lossy-link config -- a
+    deliberately hostile run whose recording feeds ``python -m repro
+    explain``.  Unknown names raise a ``ValueError`` listing the
+    protocols and the self-describing scenario zoo.
     """
     recorder = FlightRecorder()
     probe = TelemetryProbe() if telemetry else None
@@ -82,23 +85,20 @@ def record_run(
         subscribers=[recorder.on_event],
         telemetry=probe,
     )
-    if name in SCENARIOS:
+    if is_scenario(name):
         spec = make_scenario(name, n, f=f, seed=seed)
-        adversary = Adversary(
-            scheduler=RandomScheduler(random.Random(derive_seed(seed, "sched"))),
-            corruption=spec.corruption,
-            behavior_factory=spec.behavior_factory,
-        )
+        name = spec.name  # canonical (rate-suffixed when non-default)
         result = run_protocol(
             n,
             spec.f,
             spec.factory,
-            adversary=adversary,
+            adversary=scenario_adversary(spec, seed),
             params=spec.params,
             stop_condition=spec.stop_condition,
+            lossy=spec.lossy,
             **common,
         )
-    else:
+    elif name in PROTOCOLS:
         factory, params, f = make_runner(name, n, f=f, seed=seed)
         result = run_protocol(
             n,
@@ -108,6 +108,13 @@ def record_run(
             params=params,
             stop_condition=stop_when_all_decided,
             **common,
+        )
+    else:
+        raise ValueError(
+            f"unknown protocol or scenario {name!r}\n"
+            f"protocols: {', '.join(PROTOCOLS)}\n"
+            "scenarios (append @rate to override the hostility rate):\n"
+            + describe_scenarios()
         )
     path = save_recording(out, recorder, result, protocol=name)
     if probe is not None:
@@ -224,6 +231,24 @@ def format_report(recording: Recording) -> str:
         )
     for layer, words in breakdown["words_by_layer"].items():
         lines.append(f"  layer {layer:>8}: {words} words")
+    lossy = metrics.get("lossy_link", {})
+    if lossy:
+        lines += _section("link faults (lossy model)")
+        lines.append(
+            "  words: {sent} sent by correct, {delivered} delivered".format(
+                sent=summary.get("words"),
+                delivered=metrics.get("words_delivered"),
+            )
+        )
+        by_kind = metrics.get("lossy_by_kind", {})
+        for fate in ("drops", "duplicates", "reorders", "corruptions"):
+            kinds = by_kind.get(fate, {})
+            detail = (
+                " (" + ", ".join(f"{k} {c}" for k, c in kinds.items()) + ")"
+                if kinds
+                else ""
+            )
+            lines.append(f"  {fate:>12}: {lossy.get(fate, 0)}{detail}")
 
     per_process = protocol.get("per_process_words")
     if per_process:  # absent in recordings from older builds

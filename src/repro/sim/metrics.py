@@ -69,6 +69,7 @@ class MetricsRecorder:
     messages_sent_correct: int = 0
     messages_sent_total: int = 0
     messages_delivered: int = 0
+    words_delivered: int = 0
     words_by_kind: Counter = field(default_factory=Counter)
     messages_by_kind: Counter = field(default_factory=Counter)
     # Per-process accounting (correct senders only, like words_by_kind):
@@ -91,6 +92,12 @@ class MetricsRecorder:
     phase_timings: dict[str, float] = field(default_factory=dict)
     # Structured per-round facts appended by ProcessContext.annotate.
     protocol_records: list[ProtocolRecord] = field(default_factory=list)
+    # Lossy-link accounting, written by Simulation.run when the run
+    # carried an active LossyLinkConfig: the run-level fate counters
+    # (drops/duplicates/reorders/corruptions) and the same counters
+    # split by message kind.  Empty in reliable-model runs.
+    lossy_link: dict[str, int] = field(default_factory=dict)
+    lossy_by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
 
     @property
     def verifications(self) -> int:
@@ -130,6 +137,7 @@ class MetricsRecorder:
 
     def record_delivery(self, envelope: Envelope) -> None:
         self.messages_delivered += 1
+        self.words_delivered += envelope.payload.words()
 
     def add_timing(self, section: str, seconds: float) -> None:
         self.phase_timings[section] = self.phase_timings.get(section, 0.0) + seconds
@@ -153,6 +161,7 @@ class MetricsRecorder:
             "messages_sent_correct": self.messages_sent_correct,
             "messages_sent_total": self.messages_sent_total,
             "messages_delivered": self.messages_delivered,
+            "words_delivered": self.words_delivered,
             "words_by_kind": dict(self.words_by_kind),
             "messages_by_kind": dict(self.messages_by_kind),
             # str keys so the payload round-trips through JSON unchanged.
@@ -172,6 +181,12 @@ class MetricsRecorder:
             "wait_evaluations": self.wait_evaluations,
             "wait_skips": self.wait_skips,
         }
+        if self.lossy_link:
+            payload["lossy_link"] = dict(self.lossy_link)
+        if self.lossy_by_kind:
+            payload["lossy_by_kind"] = {
+                fate: dict(kinds) for fate, kinds in self.lossy_by_kind.items()
+            }
         if include_timings:
             payload["phase_timings"] = dict(self.phase_timings)
         return payload

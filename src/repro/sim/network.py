@@ -26,7 +26,7 @@ import random
 import time
 from dataclasses import dataclass
 from heapq import heappop, heappush
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.crypto.hashing import derive_seed
 from repro.crypto.pki import PKI
@@ -149,6 +149,50 @@ class LossyLinkConfig:
         return payload
 
     @classmethod
+    def targeted(
+        cls,
+        n: int,
+        senders: Iterable[int] = (),
+        dests: Iterable[int] = (),
+        base: "LossyLinkConfig | None" = None,
+        **rates: Any,
+    ) -> "LossyLinkConfig":
+        """Aim ``rates`` at specific processes via per-link overrides.
+
+        Builds a config whose ``per_link`` overrides apply
+        ``cls(**rates)`` to every link *out of* a pid in ``senders`` and
+        every link *into* a pid in ``dests`` (self-links included: the
+        kernel routes loopback sends through the same link model).  All
+        other links follow ``base`` (default: lossless).  Overrides from
+        ``base.per_link`` are kept but lose to the targeted ones.
+
+        This is how committee-targeted scenarios are built: compute the
+        committee membership from the trusted setup
+        (:func:`repro.core.committees.sample_committee`) and starve
+        exactly those links, e.g.
+        ``LossyLinkConfig.targeted(n, senders=members, drop_rate=0.4)``.
+        """
+        override = cls(**rates)
+        base = base if base is not None else cls()
+        links: dict[tuple[int, int], "LossyLinkConfig"] = (
+            dict(base.per_link) if base.per_link else {}
+        )
+        for sender in senders:
+            for dest in range(n):
+                links[(sender, dest)] = override
+        for dest in dests:
+            for sender in range(n):
+                links[(sender, dest)] = override
+        return cls(
+            drop_rate=base.drop_rate,
+            duplicate_rate=base.duplicate_rate,
+            reorder_rate=base.reorder_rate,
+            corrupt_rate=base.corrupt_rate,
+            reorder_hold=base.reorder_hold,
+            per_link=links,
+        )
+
+    @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "LossyLinkConfig":
         per_link = None
         if data.get("per_link"):
@@ -198,7 +242,7 @@ class _LossyState:
     """Per-run lossy-link machinery: fate rolls, the reorder heap, counters."""
 
     __slots__ = ("config", "_root", "drops", "duplicates", "reorders",
-                 "corruptions", "held")
+                 "corruptions", "held", "by_kind")
 
     def __init__(self, config: LossyLinkConfig, seed: int) -> None:
         self.config = config
@@ -207,9 +251,18 @@ class _LossyState:
         self.duplicates = 0
         self.reorders = 0
         self.corruptions = 0
+        # Fate counters split by message kind (class name), one dict per
+        # fate -- the per-kind accounting `repro report` renders.
+        self.by_kind: dict[str, dict[str, int]] = {
+            "drops": {}, "duplicates": {}, "reorders": {}, "corruptions": {}
+        }
         # Min-heap of (release_at_deliveries, seq, envelope): reordered
         # messages waiting outside the scheduler pool.
         self.held: list[tuple[int, int, Envelope]] = []
+
+    def count(self, fate_key: str, kind: str) -> None:
+        kinds = self.by_kind[fate_key]
+        kinds[kind] = kinds.get(kind, 0) + 1
 
     def fate(
         self, seq: int, sender: int, dest: int
@@ -641,8 +694,9 @@ class Simulation:
         if fate == "corrupt":
             corrupted_payload = _bit_corrupt(message, rng)
             if corrupted_payload is not None:
-                message = corrupted_payload
                 lossy.corruptions += 1
+                lossy.count("corruptions", type(message).__name__)
+                message = corrupted_payload
         ctx = self.contexts[sender]
         envelope = Envelope(
             seq,
@@ -672,15 +726,18 @@ class Simulation:
             )
         if fate == "drop":
             lossy.drops += 1
+            lossy.count("drops", type(message).__name__)
             return
         if fate == "reorder":
             lossy.reorders += 1
+            lossy.count("reorders", type(message).__name__)
             release_at = self.deliveries + 1 + rng.randrange(config.reorder_hold)
             heappush(lossy.held, (release_at, seq, envelope))
             return
         self._insert_in_flight(envelope)
         if fate == "duplicate":
             lossy.duplicates += 1
+            lossy.count("duplicates", type(message).__name__)
             self._submit_lossy(sender, dest, message, injected=True)
 
     def note_decision(self, pid: int) -> None:
@@ -947,6 +1004,12 @@ class Simulation:
         self.metrics.record_verification_counters(
             verify_base, self.pki.verification_counters()
         )
+        if self._lossy is not None:
+            # Surface the link-fault accounting into the run's metrics so
+            # RunResult/recordings/reports carry it without reaching back
+            # into the simulation object.
+            self.metrics.lossy_link = self.lossy_counters
+            self.metrics.lossy_by_kind = self.lossy_by_kind
         return self
 
     def _run_lossy(self, scheduler: Scheduler, corruption: CorruptionStrategy) -> None:
@@ -1081,8 +1144,9 @@ class Simulation:
                     seq_list[position] = last
                     seq_pos[last] = position
                 # -- _deliver, inlined --
-                metrics.messages_delivered += 1
                 payload = envelope.payload
+                metrics.messages_delivered += 1
+                metrics.words_delivered += payload.words()
                 payload_instance = payload.instance
                 if subscribers:
                     emit(
@@ -1230,6 +1294,18 @@ class Simulation:
             "duplicates": state.duplicates,
             "reorders": state.reorders,
             "corruptions": state.corruptions,
+        }
+
+    @property
+    def lossy_by_kind(self) -> dict[str, dict[str, int]]:
+        """Lossy fate counters split by message kind (empty when disabled)."""
+        state = self._lossy
+        if state is None:
+            return {}
+        return {
+            fate: dict(sorted(kinds.items()))
+            for fate, kinds in state.by_kind.items()
+            if kinds
         }
 
     @property

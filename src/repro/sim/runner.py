@@ -86,6 +86,26 @@ class RunResult:
         return 0
 
     @property
+    def words_delivered(self) -> int:
+        """Words actually delivered (sent minus dropped, plus duplicates)."""
+        return self.metrics.words_delivered
+
+    @property
+    def lossy_counters(self) -> dict[str, int]:
+        """Link-fault counters (all zero for reliable-model runs)."""
+        if self.metrics.lossy_link:
+            return dict(self.metrics.lossy_link)
+        return {"drops": 0, "duplicates": 0, "reorders": 0, "corruptions": 0}
+
+    @property
+    def lossy_by_kind(self) -> dict[str, dict[str, int]]:
+        """Per-message-kind link-fault counters (empty when reliable)."""
+        return {
+            fate: dict(kinds)
+            for fate, kinds in self.metrics.lossy_by_kind.items()
+        }
+
+    @property
     def live(self) -> bool:
         """True if the run terminated properly (no deadlock, no step cap)."""
         return not self.deadlocked and not self.exhausted
